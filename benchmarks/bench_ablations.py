@@ -1,0 +1,150 @@
+"""Ablation benchmarks for Keypad's design choices.
+
+Not figures from the paper, but direct tests of design claims its text
+makes:
+
+* **IBE compute-cost ablation** — how much of the metadata win is the
+  *protocol* (asynchrony) vs. the price of the IBE computation itself
+  ("With IBE, metadata update latency is ... dominated by the
+  computational cost of IBE itself").
+* **In-use key refresh** — "absent network failures, keys in Keypad
+  never expire while in use.  This ensures that long-term file
+  accesses, such as playing a movie, will not exhibit hiccups due to
+  remote-key fetching."
+* **Launch-profile prefetching** — the §5.1.2 suggestion, implemented
+  as an extension.
+"""
+
+from repro.core import KeypadConfig
+from repro.costmodel import DEFAULT_COSTS
+from repro.harness import build_keypad_rig
+from repro.harness.compilebench import run_compile
+from repro.harness.results import ResultTable
+from repro.net import THREE_G
+from repro.workloads import prepare_office_environment, task_by_name
+
+
+def test_ablation_ibe_compute_cost(benchmark, record_table):
+    """Zeroing the IBE math isolates protocol benefit from crypto cost."""
+
+    def run():
+        table = ResultTable(
+            "Ablation: IBE protocol vs IBE compute cost (Apache, 3G)",
+            ["configuration", "compile_s"],
+        )
+        config_no = KeypadConfig(texp=100.0, prefetch="dir:3",
+                                 ibe_enabled=False)
+        config_ibe = KeypadConfig(texp=100.0, prefetch="dir:3",
+                                  ibe_enabled=True)
+        table.add("no IBE (blocking metadata)",
+                  run_compile("keypad", THREE_G, config_no).seconds)
+        table.add("IBE, real cost",
+                  run_compile("keypad", THREE_G, config_ibe).seconds)
+        table.add("IBE, compute cost zeroed",
+                  run_compile("keypad", THREE_G, config_ibe,
+                              costs_override=DEFAULT_COSTS.without_ibe_cost()
+                              ).seconds)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table, "ablation_ibe_cost")
+    times = dict(table.rows)
+    # The protocol (asynchrony) is the main win; free crypto adds more.
+    assert times["IBE, real cost"] < times["no IBE (blocking metadata)"]
+    assert times["IBE, compute cost zeroed"] <= times["IBE, real cost"]
+
+
+def test_ablation_in_use_refresh_movie(benchmark, record_table):
+    """Playing a 'movie' longer than Texp: refresh removes hiccups."""
+
+    def run():
+        table = ResultTable(
+            "Ablation: in-use key refresh during long accesses",
+            ["configuration", "blocking_fetches", "async_refreshes"],
+        )
+        for disable_refresh in (False, True):
+            config = KeypadConfig(texp=10.0, prefetch="none",
+                                  ibe_enabled=False)
+            rig = build_keypad_rig(network=THREE_G, config=config)
+            if disable_refresh:
+                rig.fs.key_cache.refresh_fn = None
+
+            def setup():
+                yield from rig.fs.mkdir("/media")
+                yield from rig.fs.create("/media/movie.mp4")
+                yield from rig.fs.write("/media/movie.mp4", 0,
+                                        b"\x00" * (256 * 4096))
+                yield rig.sim.timeout(60.0)
+
+            rig.run(setup())
+            rig.fs.key_cache.evict_all()
+            rig.fs.stats["blocking_key_fetches"] = 0
+
+            def playback():
+                # 256 frames of 4 KiB at 0.2 s each: ~51 s > 5 x Texp.
+                for frame in range(256):
+                    yield from rig.fs.read("/media/movie.mp4",
+                                           frame * 4096, 4096)
+                    yield rig.sim.timeout(0.2)
+
+            rig.run(playback())
+            label = "refresh disabled" if disable_refresh else "refresh (default)"
+            table.add(label, rig.fs.stats["blocking_key_fetches"],
+                      rig.fs.key_cache.refreshes)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table, "ablation_refresh_movie")
+    rows = {row[0]: row for row in table.rows}
+    # With refresh: exactly one blocking fetch (the first frame); the
+    # rest are background refreshes.  Without: repeated hiccups.
+    assert rows["refresh (default)"][1] == 1
+    assert rows["refresh (default)"][2] >= 3
+    assert rows["refresh disabled"][1] >= 4
+
+
+def test_ablation_launch_profile(benchmark, record_table):
+    """§5.1.2 extension: profile-driven launch prefetching over 3G."""
+
+    def run():
+        table = ResultTable(
+            "Ablation: launch-profile prefetching (OpenOffice launch, 3G)",
+            ["configuration", "launch_s", "blocking_fetches"],
+        )
+        config = KeypadConfig(texp=100.0, prefetch="none", ibe_enabled=False)
+        rig = build_keypad_rig(network=THREE_G, config=config)
+        rig.run(prepare_office_environment(rig.fs))
+        task = task_by_name("OpenOffice", "Launch")
+
+        def cool():
+            yield rig.sim.timeout(500.0)
+
+        rig.run(cool())
+        rig.fs.key_cache.evict_all()
+        rig.fs.stats["blocking_key_fetches"] = 0
+        rig.fs.begin_launch_profile("oo")
+        t0 = rig.sim.now
+        rig.run(task.run(rig.fs, rig.sim))
+        table.add("cold, unprofiled", rig.sim.now - t0,
+                  rig.fs.stats["blocking_key_fetches"])
+        rig.fs.end_launch_profile()
+
+        rig.run(cool())
+        rig.fs.key_cache.evict_all()
+        rig.fs.stats["blocking_key_fetches"] = 0
+        t0 = rig.sim.now
+
+        def profiled():
+            yield from rig.fs.prefetch_launch_profile("oo")
+            yield from task.run(rig.fs, rig.sim)
+
+        rig.run(profiled())
+        table.add("cold, profile-prefetched", rig.sim.now - t0,
+                  rig.fs.stats["blocking_key_fetches"])
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table, "ablation_launch_profile")
+    rows = {row[0]: row for row in table.rows}
+    assert rows["cold, profile-prefetched"][1] < rows["cold, unprofiled"][1]
+    assert rows["cold, profile-prefetched"][2] == 0

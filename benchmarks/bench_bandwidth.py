@@ -1,0 +1,18 @@
+"""§5 setup claim: Keypad bandwidth is very low (<5 kb/s average)."""
+
+from repro.harness.exposurebench import bandwidth_estimate
+
+
+def test_bandwidth_estimate(benchmark, record_table, trace_days):
+    table = benchmark.pedantic(
+        bandwidth_estimate, kwargs={"days": trace_days}, rounds=1,
+        iterations=1,
+    )
+    record_table(table, "bandwidth")
+
+    for _link, _bytes, _msgs, avg_kbps, _peak in table.rows:
+        # Far under the paper's 5 kb/s bound.
+        assert avg_kbps < 5.0
+    total = sum(row[1] for row in table.rows)
+    assert total > 0
+    benchmark.extra_info["total_bytes"] = total

@@ -1,0 +1,27 @@
+"""Figure 11: in-memory key exposure vs expiration and prefetching."""
+
+from repro.harness.exposurebench import fig11_key_exposure
+
+
+def test_fig11_key_exposure(benchmark, record_table, trace_days, full_sweep):
+    texps = (1.0, 10.0, 100.0, 1000.0) if full_sweep else (10.0, 100.0)
+    policies = ("none", "dir:3", "dir:1") if full_sweep else ("none", "dir:3")
+    table = benchmark.pedantic(
+        fig11_key_exposure,
+        kwargs={"texps": texps, "policies": policies, "days": trace_days},
+        rounds=1, iterations=1,
+    )
+    record_table(table, "fig11_key_exposure")
+
+    averages = {(policy, texp): avg for policy, texp, avg, _p in table.rows}
+    # Longer expirations leave more keys resident...
+    for policy in policies:
+        series = [averages[(policy, t)] for t in texps]
+        assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))
+    # ...and more aggressive prefetching does too.
+    for texp in texps:
+        assert averages[("none", texp)] <= averages[("dir:3", texp)] + 1e-9
+    # The paper's operating point: ~38 keys at Texp=100 s / dir:3.
+    operating_point = averages[("dir:3", 100.0)]
+    assert 10 <= operating_point <= 80
+    benchmark.extra_info["avg_keys_at_100s_dir3"] = operating_point

@@ -1,0 +1,42 @@
+"""Figure 6: file-operation latency microbenchmarks."""
+
+import pytest
+
+from repro.harness.microbench import fig6a_content_ops, fig6b_metadata_ops
+
+
+def test_fig6a_content_operation_latency(benchmark, record_table):
+    table = benchmark.pedantic(fig6a_content_ops, rounds=1, iterations=1)
+    record_table(table, "fig6a_content_ops")
+
+    rows = {(op, cache, net): ms for op, cache, net, ms in table.rows}
+    # Paper: cached read = EncFS 0.337 ms + 0.01 ms.
+    assert rows[("read", "hit", "LAN")] < 0.5
+    # Paper: misses over 3G are dominated by the 300 ms RTT.
+    assert 295 < rows[("read", "miss", "3G")] < 320
+    assert 295 < rows[("write", "miss", "3G")] < 320
+    # Hits never touch the network.
+    assert rows[("read", "hit", "3G")] == pytest.approx(
+        rows[("read", "hit", "LAN")], abs=1e-3
+    )
+    benchmark.extra_info["read_hit_ms"] = rows[("read", "hit", "LAN")]
+    benchmark.extra_info["read_miss_3g_ms"] = rows[("read", "miss", "3G")]
+
+
+def test_fig6b_metadata_operation_latency(benchmark, record_table):
+    table = benchmark.pedantic(fig6b_metadata_ops, rounds=1, iterations=1)
+    record_table(table, "fig6b_metadata_ops")
+
+    rows = {(op, ibe, net): ms for op, ibe, net, ms in table.rows}
+    # Without IBE, metadata latency tracks the RTT.
+    assert rows[("create", "without IBE", "3G")] > 295
+    # With IBE, it is network-independent and ~IBE-compute-bound
+    # (paper: 25.3 ms).
+    with_ibe_lan = rows[("create", "with IBE", "LAN")]
+    with_ibe_3g = rows[("create", "with IBE", "3G")]
+    assert abs(with_ibe_lan - with_ibe_3g) < 2.0
+    assert 20 < with_ibe_3g < 40
+    # IBE beats no-IBE on 3G but loses on a LAN (the §5.1.1 crossover).
+    assert with_ibe_3g < rows[("create", "without IBE", "3G")]
+    assert with_ibe_lan > rows[("create", "without IBE", "LAN")]
+    benchmark.extra_info["create_ibe_ms"] = with_ibe_3g

@@ -1,0 +1,41 @@
+"""Figure 8: IBE and device-pairing effects vs network RTT."""
+
+from repro.harness.compilebench import fig8a_ibe_effect, fig8b_paired_device
+
+
+def _rtts(full_sweep):
+    return (0.1, 2.0, 8.0, 25.0, 60.0, 125.0, 300.0) if full_sweep \
+        else (0.1, 25.0, 300.0)
+
+
+def test_fig8a_ibe_effect(benchmark, record_table, full_sweep):
+    table = benchmark.pedantic(
+        fig8a_ibe_effect, args=(_rtts(full_sweep),), rounds=1, iterations=1
+    )
+    record_table(table, "fig8a_ibe_effect")
+
+    rows = {rtt: (no_ibe, ibe) for rtt, no_ibe, ibe, _e, _x in table.rows}
+    # IBE hurts on a LAN (pure compute overhead)...
+    assert rows[0.1][1] > rows[0.1][0]
+    # ...and wins big over 3G (paper: 36.9% improvement, crossover
+    # around 25 ms).
+    assert rows[300.0][1] < rows[300.0][0]
+    improvement = (rows[300.0][0] - rows[300.0][1]) / rows[300.0][0]
+    assert improvement > 0.15
+    benchmark.extra_info["g3_ibe_improvement"] = improvement
+
+
+def test_fig8b_paired_device(benchmark, record_table, full_sweep):
+    table = benchmark.pedantic(
+        fig8b_paired_device, args=(_rtts(full_sweep),), rounds=1, iterations=1
+    )
+    record_table(table, "fig8b_paired_device")
+
+    rows = {rtt: (without, with_phone)
+            for rtt, without, with_phone, _e, _x in table.rows}
+    # Pairing always helps over cellular latencies...
+    assert rows[300.0][1] < rows[300.0][0]
+    # ...and performance with the phone is roughly RTT-independent
+    # (Bluetooth dominates), i.e. broadband-class everywhere.
+    assert rows[300.0][1] < rows[25.0][0] * 2.5
+    benchmark.extra_info["g3_with_phone_s"] = rows[300.0][1]

@@ -1,0 +1,22 @@
+"""§5.1.4: the 12-day deployment anecdote, quantified."""
+
+from repro.harness.exposurebench import sec514_deployment_experience
+
+
+def test_sec514_deployment_experience(benchmark, record_table, trace_days):
+    table = benchmark.pedantic(
+        sec514_deployment_experience, kwargs={"days": trace_days},
+        rounds=1, iterations=1,
+    )
+    record_table(table, "sec514_deployment")
+
+    rows = {row[0]: row for row in table.rows}
+    # Interactive activities add sub-second latency ("no noticeable
+    # performance degradation").
+    for activity in ("editing documents", "exchanging email",
+                     "browsing the Web"):
+        assert rows[activity][4] == "no", activity
+    # Scans are slower — but usable (well under 10 s per scan).
+    scan = rows["recursive scan (CVS-like)"]
+    assert scan[2] < 10.0
+    assert scan[2] > scan[1]  # slower than EncFS, as reported

@@ -1,0 +1,28 @@
+"""§5.2: audit-log false positives under the thief scenarios."""
+
+from repro.harness.exposurebench import sec52_false_positives
+
+
+def test_sec52_false_positives(benchmark, record_table):
+    table = benchmark.pedantic(sec52_false_positives, rounds=1, iterations=1)
+    record_table(table, "sec52_false_positives")
+
+    rows = {row[0]: row for row in table.rows}
+
+    # Zero false negatives in every scenario — the hard guarantee.
+    for name, row in rows.items():
+        assert row[4] == 0, f"{name}: false negatives!"
+
+    # Paper ratios: thunderbird 3:30, document editor 6:67, firefox 0:12.
+    tb = rows["thunderbird"]
+    assert 0 < tb[1] <= 6 and 25 <= tb[2] <= 50
+    editor = rows["document-editor"]
+    assert 3 <= editor[1] <= 10 and 55 <= editor[2] <= 75
+    firefox = rows["firefox-profile"]
+    assert firefox[1] == 0 and firefox[2] == 12
+    # The bad case produces many FPs (whole cache dir prefetched).
+    bad = rows["firefox-cache"]
+    assert bad[1] > 10
+    benchmark.extra_info["ratios"] = {
+        name: f"{row[1]}:{row[2]}" for name, row in rows.items()
+    }

@@ -1,0 +1,36 @@
+"""Table 1: application-task latency matrix (EncFS vs Keypad)."""
+
+from repro.harness.appbench import table1_applications
+from repro.net import ALL_NETWORKS, BROADBAND, LAN, THREE_G
+
+
+def test_table1_applications(benchmark, record_table, full_sweep):
+    networks = ALL_NETWORKS if full_sweep else (LAN, BROADBAND, THREE_G)
+    table = benchmark.pedantic(
+        table1_applications, args=(networks,), rounds=1, iterations=1
+    )
+    record_table(table, "table1_applications")
+
+    def get(app, task, column):
+        idx = list(table.columns).index(column)
+        for row in table.rows:
+            if row[0] == app and row[1] == task:
+                return float(row[idx])
+        raise KeyError((app, task))
+
+    # On a LAN, Keypad is indistinguishable from EncFS ("while at the
+    # office, the user should never feel our file system's presence").
+    for app, task in (("OpenOffice", "Launch"), ("Firefox", "Launch"),
+                      ("Thunderbird", "Read email")):
+        encfs = get(app, task, "encfs")
+        assert get(app, task, "LAN cold") < encfs + 0.3
+        assert get(app, task, "LAN warm") < encfs + 0.2
+
+    # Over 3G, cold launches are the expensive case (paper: OO launch
+    # 0.5 s EncFS -> 4.6 s cold 3G).
+    oo_cold_3g = get("OpenOffice", "Launch", "3G cold")
+    assert 2.0 < oo_cold_3g < 8.0
+    # The warm cache wins back most of it.
+    assert get("OpenOffice", "Launch", "3G warm") < oo_cold_3g
+
+    benchmark.extra_info["oo_launch_3g_cold_s"] = oo_cold_3g

@@ -1,0 +1,47 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation and writes the rendered result to ``benchmarks/results/``.
+Scale knobs (for quicker CI-style runs vs full paper-fidelity runs):
+
+* ``KEYPAD_BENCH_SCALE``  — Apache-compile workload scale (default 0.3;
+  set to 1.0 for the paper's full 75k-op stream);
+* ``KEYPAD_TRACE_DAYS``   — usage-trace length (default 3; paper used 12);
+* ``KEYPAD_BENCH_FULL=1`` — use the full network/parameter sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture()
+def record_table():
+    """Write a rendered ResultTable under benchmarks/results/."""
+
+    def _record(table, name: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table.render() + "\n")
+        print()
+        print(table.render())
+
+    return _record
+
+
+@pytest.fixture()
+def full_sweep() -> bool:
+    return os.environ.get("KEYPAD_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture()
+def trace_days() -> float:
+    return float(os.environ.get("KEYPAD_TRACE_DAYS", "3"))

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Alice's corporate laptop (the paper's first motivating example, §2).
+
+    "Alice is a businesswoman who carries a corporate laptop that
+    stores documents containing trade secrets.  Alice's IT department
+    installs Keypad on the laptop, configuring it to track all accesses
+    to files in her 'corporate documents' folder.  After returning to
+    her hotel from a two-hour dinner, Alice notices that her laptop is
+    missing.  She immediately reports the loss to her IT department,
+    which disables any future access to files in the corporate
+    documents folder.  The IT department also produces an audit log of
+    all files accessed within the two-hour window since she last
+    controlled her laptop, confirming that no sensitive files were
+    accessed."
+
+This example reproduces the scenario end to end, including *partial
+coverage*: only /corporate is Keypad-protected; Alice's personal music
+folder is locally encrypted but unaudited.
+"""
+
+from repro.core import KeypadConfig
+from repro.forensics import AuditTool
+from repro.harness import build_keypad_rig
+from repro.net import WLAN
+
+TWO_HOURS = 2 * 3600.0
+
+
+def main() -> None:
+    # IT policy: track the corporate-documents folder only.
+    config = KeypadConfig(
+        texp=100.0,
+        prefetch="dir:3",
+        ibe_enabled=False,      # office WLAN: IBE unnecessary below 25 ms
+        protected_prefixes=("/corporate",),
+    )
+    rig = build_keypad_rig(network=WLAN, config=config)
+
+    def workday():
+        yield from rig.fs.mkdir("/corporate")
+        yield from rig.fs.mkdir("/personal")
+        for i in range(5):
+            path = f"/corporate/trade_secret_{i}.doc"
+            yield from rig.fs.create(path)
+            yield from rig.fs.write(path, 0, b"project unicorn financials")
+        yield from rig.fs.create("/personal/playlist.m3u")
+        yield from rig.fs.write("/personal/playlist.m3u", 0, b"track01.ogg")
+        # Alice edits one document during the day.
+        yield from rig.fs.read("/corporate/trade_secret_0.doc", 0, 100)
+        yield from rig.fs.write("/corporate/trade_secret_0.doc", 0, b"v2 ")
+        # She packs up; the laptop idles long enough for every cached
+        # key to expire before she leaves for dinner.
+        yield rig.sim.timeout(900.0)
+
+    rig.run(workday())
+
+    # Dinner: Alice last saw the laptop at Tloss.
+    t_loss = rig.sim.now
+    print(f"Alice heads to dinner at t={t_loss:.0f}s; laptop stolen sometime after.")
+
+    def dinner_window():
+        yield rig.sim.timeout(TWO_HOURS)
+
+    rig.run(dinner_window())
+
+    # Alice notices the laptop is gone and calls IT.
+    t_notice = rig.sim.now
+    print(f"Alice notices the loss at t={t_notice:.0f}s "
+          f"(exposure window: {(t_notice - t_loss)/3600:.1f} h)")
+
+    # IT: (1) disable all of the laptop's keys ...
+    rig.revoke()
+    print("IT disables the device's keys on the key service.")
+
+    # ... (2) and produce the audit report for the window.
+    tool = AuditTool(rig.key_service, rig.metadata_service)
+    report = tool.report(t_loss=t_loss, texp=config.texp)
+    print()
+    print(report.render())
+
+    if not report.compromised_ids:
+        print("\n=> No corporate file was accessed during the exposure "
+              "window. Alice's company need not disclose a breach.")
+
+    # A thief trying afterwards gets nothing — and even the attempt is
+    # logged.
+    def thief_tries():
+        try:
+            yield from rig.fs.read("/corporate/trade_secret_1.doc", 0, 10)
+            print("thief read the file (unexpected!)")
+        except Exception as exc:
+            print(f"\nthief's later attempt fails: {type(exc).__name__}: {exc}")
+
+    rig.fs.key_cache.evict_all()  # keys long expired anyway
+    rig.run(thief_tries())
+    denied = [e for e in rig.key_service.access_log if e.kind == "denied"]
+    print(f"key service logged {len(denied)} denied request(s) post-revocation")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Reproduce (a slice of) Figure 7 in under a minute.
+
+Figure 7 is the paper's key-expiration sweep: Apache compile time vs
+Texp, per network.  This example runs a reduced sweep (scale 0.2,
+two networks, four expirations) and prints the same series — enough to
+see both findings:
+
+* the knee: expirations beyond ~100 s buy almost nothing;
+* the leverage: caching matters enormously over 3G, barely on a LAN.
+
+For the full-scale version of every figure:
+    KEYPAD_BENCH_SCALE=1.0 python -m repro.harness.reportgen EXPERIMENTS.md
+"""
+
+from repro.harness.compilebench import fig7_key_expiration
+from repro.net import LAN, THREE_G
+
+
+def main() -> None:
+    table = fig7_key_expiration(
+        texps=(1.0, 10.0, 100.0, 1000.0),
+        networks=(LAN, THREE_G),
+        scale=0.2,
+    )
+    print(table.render())
+
+    times = {(net, texp): t for net, texp, t, _ in table.rows}
+    lan_gain = times[("LAN", 1.0)] / times[("LAN", 1000.0)]
+    g3_gain = times[("3G", 1.0)] / times[("3G", 1000.0)]
+    print()
+    print(f"caching speedup (Texp 1s -> 1000s):  LAN {lan_gain:.2f}x,  "
+          f"3G {g3_gain:.2f}x")
+    print("paper: 18% on a LAN, 4.9x-8.6x over 3G — same shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Forensics deep dive: three attackers, one stolen laptop.
+
+Walks the full §6 threat model against one device image:
+
+1. a *memory-extraction* attacker (cold-boot) who decrypts whatever was
+   cached at Tloss without leaving new log entries — and shows why the
+   Tloss−Texp reporting window still catches him;
+2. a *professional* offline attacker who images the disk, finds the
+   sensitive files by name, and must query the services (logged) to
+   decrypt them;
+3. an attacker facing an *IBE-locked* file, who can only unlock it by
+   registering its true path with the metadata service.
+
+Ends with the fidelity analysis: zero false negatives across all three.
+"""
+
+from repro.attack import OfflineAttacker
+from repro.core import KeypadConfig
+from repro.forensics import AuditTool, analyze_fidelity
+from repro.harness import build_keypad_rig
+from repro.net import BROADBAND
+
+
+def main() -> None:
+    config = KeypadConfig(texp=100.0, prefetch="none", ibe_enabled=True,
+                          registration_max_retries=3,
+                          registration_retry_delay=1.0)
+    rig = build_keypad_rig(network=BROADBAND, config=config)
+
+    def owner_life():
+        yield from rig.fs.mkdir("/home")
+        yield from rig.fs.mkdir("/home/medical")
+        for i in range(4):
+            yield from rig.fs.create(f"/home/medical/scan_{i}.dcm")
+            yield from rig.fs.write(f"/home/medical/scan_{i}.dcm", 0,
+                                    b"DICOM confidential imaging")
+        yield from rig.fs.create("/home/todo.txt")
+        yield from rig.fs.write("/home/todo.txt", 0, b"call dentist")
+        yield rig.sim.timeout(400.0)  # older keys expire
+        # Moments before the theft, the owner opens one file: its key
+        # is cached (and therefore stealable) at Tloss.
+        yield from rig.fs.read("/home/todo.txt", 0, 12)
+        # And saves a new file whose metadata registration the thief
+        # will interrupt: it stays IBE-locked on disk.
+        rig.metadata_link.set_down()
+        yield from rig.fs.create("/home/medical/new_referral.txt")
+        yield from rig.fs.write("/home/medical/new_referral.txt", 0,
+                                b"referred to oncology")
+        yield rig.sim.timeout(20.0)
+
+    rig.run(owner_life())
+    t_loss = rig.sim.now
+    memory = rig.fs.key_cache.snapshot()
+    print(f"THEFT at t={t_loss:.0f}s; {len(memory)} key(s) cached in RAM\n")
+
+    # -- attacker 1: cold-boot memory extraction --------------------------
+    silent = OfflineAttacker(rig.lower, "hunter2", memory_snapshot=memory)
+    log_size_before = len(rig.key_service.access_log)
+
+    def silent_attack():
+        result = yield from silent.try_read("/home/todo.txt")
+        print(f"[cold-boot] {result.path}: success={result.success} "
+              f"via {result.method} — data={result.data!r}")
+        blocked = yield from silent.try_read("/home/medical/scan_0.dcm")
+        print(f"[cold-boot] {blocked.path}: success={blocked.success} "
+              f"({blocked.reason})")
+
+    rig.run(silent_attack())
+    print(f"[cold-boot] new audit entries created: "
+          f"{len(rig.key_service.access_log) - log_size_before} (silent!)\n")
+
+    # -- attacker 2: the professional with service access ------------------
+    rig.metadata_link.set_up()  # thief uses his own uplink
+    pro = OfflineAttacker(rig.lower, "hunter2", services=rig.services)
+
+    def pro_attack():
+        tree = yield from pro.list_tree("/home/medical")
+        print(f"[pro] disk image lists {len(tree)} medical files")
+        for path in tree:
+            result = yield from pro.try_read(path)
+            tag = result.method if result.success else f"FAILED ({result.reason})"
+            print(f"[pro]   {path}: {tag}")
+
+    rig.run(pro_attack())
+    print()
+
+    # -- the victim's forensic report ---------------------------------------
+    tool = AuditTool(rig.key_service, rig.metadata_service)
+    report = tool.report(t_loss=t_loss, texp=config.texp)
+    print(report.render())
+
+    truly_accessed = silent.truly_accessed_ids | pro.truly_accessed_ids
+    analysis = analyze_fidelity(report, truly_accessed)
+    print(f"\nfidelity: {analysis.render()}")
+    assert analysis.zero_false_negatives
+    print("=> zero false negatives: every file any attacker read is in "
+          "the report,")
+    print("   including the IBE-locked referral — whose *correct path* the")
+    print("   professional was forced to reveal to unlock it.")
+
+
+if __name__ == "__main__":
+    main()

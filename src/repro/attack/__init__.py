@@ -1,0 +1,22 @@
+"""Attacker models: thieves, offline raw-disk attacks, §5.2 scenarios."""
+
+from repro.attack.offline import AttackResult, OfflineAttacker
+from repro.attack.scenarios import THIEF_SCENARIOS, ScenarioResult, run_scenario
+from repro.attack.thief import (
+    CuriousThief,
+    PettyThief,
+    ProfessionalThief,
+    ThiefReport,
+)
+
+__all__ = [
+    "OfflineAttacker",
+    "AttackResult",
+    "CuriousThief",
+    "PettyThief",
+    "ProfessionalThief",
+    "ThiefReport",
+    "ScenarioResult",
+    "THIEF_SCENARIOS",
+    "run_scenario",
+]

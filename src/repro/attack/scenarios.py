@@ -1,0 +1,122 @@
+"""The §5.2 thief scenarios: false-positive measurement.
+
+Three post-theft behaviours, run against the office environment with
+the default prefetch-on-3rd-miss policy:
+
+1. the thief "launches Thunderbird, reads a few emails, browses
+   folders, and searches for emails with a particular keyword"
+   (paper result — FP : accessed keys = 3:30);
+2. "he launches a document editor and looks at a few files" (6:67);
+3. "he inspects the history, bookmarks, cookies, and passwords in a
+   Firefox window" (0:12);
+
+plus the paper's *bad case*: loading a page that pulls several files
+from the browser cache directory, prefetching the whole directory —
+many false positives, but all localized to that one directory.
+
+Ground truth (keys whose content the thief actually decrypted) comes
+from the thief's own op stream; false positives are the additional
+audit-log entries caused by prefetching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.core.fs import KeypadFS
+from repro.workloads.fsops import read_file_chunked
+
+__all__ = ["ScenarioResult", "THIEF_SCENARIOS", "run_scenario"]
+
+
+@dataclass
+class ScenarioResult:
+    name: str
+    accessed_ids: set = field(default_factory=set)
+    touched_paths: list = field(default_factory=list)
+
+    def fp_ratio(self, reported_ids: set) -> tuple[int, int]:
+        """(false positives, total reported) — the paper's X:Y form."""
+        false_positives = reported_ids - self.accessed_ids
+        return len(false_positives), len(reported_ids)
+
+
+def _touch(fs: KeypadFS, result: ScenarioResult, path: str) -> Generator:
+    yield from read_file_chunked(fs, path)
+    audit_id = yield from fs.audit_id_of(path)
+    if audit_id is not None:
+        result.accessed_ids.add(audit_id)
+    result.touched_paths.append(path)
+    return None
+
+
+def thunderbird_scenario(fs: KeypadFS) -> Generator:
+    """Launch TB, read a few emails, browse folders, keyword search."""
+    result = ScenarioResult("thunderbird")
+    # Launch: the app libs and index files.
+    for name in (yield from fs.readdir("/apps/thunderbird/lib")):
+        yield from _touch(fs, result, f"/apps/thunderbird/lib/{name}")
+    for name in (yield from fs.readdir("/home/user/.thunderbird/index")):
+        yield from _touch(fs, result, f"/home/user/.thunderbird/index/{name}")
+    # Read a few emails, browse folders.
+    for i in range(3):
+        yield from _touch(
+            fs, result, f"/home/user/.thunderbird/mail/folder{i:02d}.mbox"
+        )
+    # Keyword search scans most (not all) folders.
+    names = yield from fs.readdir("/home/user/.thunderbird/mail")
+    for name in names[:21]:
+        path = f"/home/user/.thunderbird/mail/{name}"
+        if path not in result.touched_paths:
+            yield from _touch(fs, result, path)
+    return result
+
+
+def document_editor_scenario(fs: KeypadFS) -> Generator:
+    """Launch the editor, look at a few documents."""
+    result = ScenarioResult("document-editor")
+    # Editor launch reads its three application directories.
+    for sub in ("program", "share", "config"):
+        directory = f"/apps/openoffice/{sub}"
+        for name in (yield from fs.readdir(directory)):
+            yield from _touch(fs, result, f"{directory}/{name}")
+    # "Looks at a few files": 14 of the 20 documents.
+    names = yield from fs.readdir("/home/user/docs")
+    docs = [n for n in names if n.startswith("report")]
+    for name in docs[:14]:
+        yield from _touch(fs, result, f"/home/user/docs/{name}")
+    return result
+
+
+def firefox_scenario(fs: KeypadFS) -> Generator:
+    """Inspect history, bookmarks, cookies, and passwords."""
+    result = ScenarioResult("firefox-profile")
+    directory = "/home/user/.mozilla/profile"
+    for name in (yield from fs.readdir(directory)):
+        yield from _touch(fs, result, f"{directory}/{name}")
+    return result
+
+
+def firefox_cache_bad_case(fs: KeypadFS) -> Generator:
+    """The paper's bad case: a page load touches a few cache files and
+    the prefetcher pulls in the whole cache directory."""
+    result = ScenarioResult("firefox-cache")
+    directory = "/home/user/.mozilla/cache"
+    names = yield from fs.readdir(directory)
+    for name in names[:5]:
+        yield from _touch(fs, result, f"{directory}/{name}")
+    return result
+
+
+THIEF_SCENARIOS = {
+    "thunderbird": thunderbird_scenario,
+    "document-editor": document_editor_scenario,
+    "firefox-profile": firefox_scenario,
+    "firefox-cache": firefox_cache_bad_case,
+}
+
+
+def run_scenario(fs: KeypadFS, name: str) -> Generator:
+    result = yield from THIEF_SCENARIOS[name](fs)
+    return result

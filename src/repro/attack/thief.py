@@ -1,0 +1,121 @@
+"""Thief behaviour models (§6 "Context and Threat Model").
+
+Three archetypes the paper describes:
+
+* the **curious individual** who pokes around the home directory
+  looking for the owner's name (using the device's own software —
+  i.e. KeypadFS itself, since the password was on the sticky note);
+* the **petty thief** who wants hardware, not data;
+* the **corporate spy / professional** who images the disk and attacks
+  it offline with his own tools, targeting specific content.
+
+Each model runs post-``Tloss`` and records ground truth about which
+audit IDs it actually read, which the fidelity analysis (§5.2) then
+compares against the audit report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.errors import ReproError
+from repro.sim import SimRandom
+from repro.core.fs import KeypadFS
+from repro.attack.offline import OfflineAttacker
+
+__all__ = ["CuriousThief", "PettyThief", "ProfessionalThief", "ThiefReport"]
+
+
+@dataclass
+class ThiefReport:
+    """What a thief actually did."""
+
+    attempted: list[str] = field(default_factory=list)
+    succeeded: list[str] = field(default_factory=list)
+    accessed_ids: set = field(default_factory=set)
+
+
+class CuriousThief:
+    """Browses a few home-directory files through the device's own FS.
+
+    "a curious individual who finds a laptop at the coffee shop and
+    seeks to learn its owner might register audit records for files in
+    the home directory, but not for unaccessed confidential medical
+    records also stored on the device."
+    """
+
+    def __init__(self, fs: KeypadFS, rand: SimRandom, sample: int = 3):
+        self.fs = fs
+        self.rand = rand
+        self.sample = sample
+        self.report = ThiefReport()
+
+    def run(self, browse_dir: str = "/home") -> Generator:
+        names = yield from self.fs.readdir(browse_dir)
+        files = []
+        for name in names:
+            child = f"{browse_dir}/{name}"
+            attr = yield from self.fs.getattr(child)
+            if not attr.is_dir:
+                files.append(child)
+        chosen = files[: self.sample] if len(files) <= self.sample else (
+            self.rand.sample(files, self.sample)
+        )
+        for path in chosen:
+            self.report.attempted.append(path)
+            try:
+                yield from self.fs.read(path, 0, 256)
+            except ReproError:
+                continue
+            self.report.succeeded.append(path)
+            audit_id = yield from self.fs.audit_id_of(path)
+            if audit_id is not None:
+                self.report.accessed_ids.add(audit_id)
+        return self.report
+
+
+class PettyThief:
+    """Wants the hardware; accesses no files at all."""
+
+    def __init__(self) -> None:
+        self.report = ThiefReport()
+
+    def run(self) -> Generator:
+        # Wipes the drive without reading it.  Nothing to audit — and
+        # nothing exposed.
+        return self.report
+        yield  # pragma: no cover
+
+
+class ProfessionalThief:
+    """Images the disk and attacks it offline, targeting keywords.
+
+    "the professional data thief will register accesses to all of the
+    specific confidential medical files that they view."
+    """
+
+    def __init__(
+        self,
+        attacker: OfflineAttacker,
+        keywords: tuple[str, ...] = ("medical", "taxes", "ssn", "secret"),
+        read_all_matching: bool = True,
+    ):
+        self.attacker = attacker
+        self.keywords = tuple(k.lower() for k in keywords)
+        self.read_all_matching = read_all_matching
+        self.report = ThiefReport()
+
+    def run(self, root: str = "/") -> Generator:
+        tree = yield from self.attacker.list_tree(root)
+        targets = [
+            path for path in tree
+            if any(k in path.lower() for k in self.keywords)
+        ]
+        for path in targets:
+            self.report.attempted.append(path)
+            result = yield from self.attacker.try_read(path)
+            if result.success:
+                self.report.succeeded.append(path)
+        self.report.accessed_ids = set(self.attacker.truly_accessed_ids)
+        return self.report

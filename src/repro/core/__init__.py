@@ -1,0 +1,63 @@
+"""Keypad — the paper's primary contribution.
+
+The auditing file system (:class:`KeypadFS`), its key cache and
+prefetcher, the remote audit services, the paired-device extension, and
+the client configuration.
+"""
+
+from repro.core.client import DeviceServices
+from repro.core.fs import KeypadFS
+from repro.core.header import (
+    KEYPAD_HEADER_LEN,
+    KeypadHeader,
+    pack_header,
+    parse_header,
+    unwrap_data_key,
+    wrap_data_key,
+)
+from repro.core.keycache import CacheEntry, KeyCache
+from repro.core.launchprofile import LaunchProfiler
+from repro.core.paired import PairedPhone, PhoneProxy
+from repro.core.policy import KeypadConfig, coverage_for_prefixes
+from repro.core.prefetch import (
+    DirectoryPrefetch,
+    NoPrefetch,
+    PrefetchPolicy,
+    RandomPrefetch,
+    make_policy,
+)
+from repro.core.services import (
+    AUDIT_ID_LEN,
+    ROOT_DIR_ID,
+    KeyService,
+    MetadataService,
+    identity_string,
+)
+
+__all__ = [
+    "KeypadFS",
+    "KeypadConfig",
+    "coverage_for_prefixes",
+    "DeviceServices",
+    "KeyService",
+    "MetadataService",
+    "KeyCache",
+    "CacheEntry",
+    "LaunchProfiler",
+    "PairedPhone",
+    "PhoneProxy",
+    "PrefetchPolicy",
+    "NoPrefetch",
+    "DirectoryPrefetch",
+    "RandomPrefetch",
+    "make_policy",
+    "KeypadHeader",
+    "pack_header",
+    "parse_header",
+    "wrap_data_key",
+    "unwrap_data_key",
+    "KEYPAD_HEADER_LEN",
+    "AUDIT_ID_LEN",
+    "ROOT_DIR_ID",
+    "identity_string",
+]

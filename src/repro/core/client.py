@@ -1,0 +1,152 @@
+"""Device-side access to the audit services.
+
+:class:`DeviceServices` owns the RPC channels from the client device to
+the key service and the metadata service (deliberately separate
+channels — distinct providers see disjoint information, §3.1), and
+optionally routes through a paired phone (§3.5) when one is attached.
+
+All methods are sim-process generators.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.costmodel import DEFAULT_COSTS, CostModel
+from repro.crypto.ibe import IbePrivateKey
+from repro.crypto.ibe.curve import Point
+from repro.crypto.ibe.fp2 import Fp2
+from repro.net.link import Link
+from repro.net.rpc import RpcChannel
+from repro.sim import Simulation
+from repro.core.services.keyservice import KeyService
+from repro.core.services.metadataservice import MetadataService
+
+__all__ = ["DeviceServices"]
+
+
+class DeviceServices:
+    """The laptop's window onto the remote audit services."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        device_id: str,
+        device_secret: bytes,
+        key_service: KeyService,
+        metadata_service: MetadataService,
+        key_link: Link,
+        metadata_link: Link,
+        costs: CostModel = DEFAULT_COSTS,
+        rekey_interval: float = 100.0,
+    ):
+        self.sim = sim
+        self.device_id = device_id
+        self.key_service = key_service
+        self.metadata_service = metadata_service
+        key_service.enroll_device(device_id, device_secret)
+        metadata_service.enroll_device(device_id, device_secret)
+        self.key_channel = RpcChannel(
+            sim, key_link, key_service.server, device_id, device_secret,
+            costs=costs, rekey_interval=rekey_interval,
+        )
+        self.metadata_channel = RpcChannel(
+            sim, metadata_link, metadata_service.server, device_id,
+            device_secret, costs=costs, rekey_interval=rekey_interval,
+        )
+        # When a paired phone is attached, requests route through it.
+        self.phone = None  # type: Optional[object]
+
+    def attach_phone(self, phone) -> None:
+        """Route key/metadata traffic via the paired device."""
+        self.phone = phone
+
+    def detach_phone(self) -> None:
+        self.phone = None
+
+    # -- key service -------------------------------------------------------
+    def fetch_key(self, audit_id: bytes, kind: str = "fetch") -> Generator:
+        if self.phone is not None:
+            key = yield from self.phone.fetch_key(audit_id, kind)
+            return key
+        response = yield from self.key_channel.call(
+            "key.fetch", audit_id=audit_id, kind=kind
+        )
+        return response["key"]
+
+    def fetch_keys(self, audit_ids: list[bytes], kind: str = "prefetch") -> Generator:
+        if self.phone is not None:
+            keys = yield from self.phone.fetch_keys(audit_ids, kind)
+            return keys
+        response = yield from self.key_channel.call(
+            "key.fetch_batch", audit_ids=audit_ids, kind=kind
+        )
+        return response["keys"]
+
+    def create_key(self, audit_id: bytes) -> Generator:
+        response = yield from self.key_channel.call(
+            "key.create", audit_id=audit_id
+        )
+        return response["key"]
+
+    def put_key(self, audit_id: bytes, key: bytes) -> Generator:
+        if self.phone is not None:
+            yield from self.phone.put_key(audit_id, key)
+            return None
+        yield from self.key_channel.call("key.put", audit_id=audit_id, key=key)
+        return None
+
+    def notify_evictions(self, count: int, reason: str) -> Generator:
+        yield from self.key_channel.call(
+            "key.evict_notify", count=count, reason=reason
+        )
+        return None
+
+    # -- metadata service -----------------------------------------------------
+    def register_file(self, audit_id: bytes, dir_id: str, name: str) -> Generator:
+        if self.phone is not None:
+            yield from self.phone.register_file(audit_id, dir_id, name)
+            return None
+        yield from self.metadata_channel.call(
+            "meta.register", audit_id=audit_id, dir_id=dir_id, name=name
+        )
+        return None
+
+    def register_file_ibe(self, identity: bytes) -> Generator:
+        """Register metadata and obtain the unlocking IBE private key.
+
+        Returns ``None`` when routed through a disconnected phone that
+        durably deferred the registration (the caller then unlocks from
+        its cached wrapped key instead of via IBE decryption).
+        """
+        if self.phone is not None:
+            result = yield from self.phone.register_file_ibe(identity)
+            return result
+        response = yield from self.metadata_channel.call(
+            "meta.register_ibe", identity=identity
+        )
+        return self._private_key_from(response)
+
+    def register_dir(self, dir_id: str, parent_id: str, name: str) -> Generator:
+        if self.phone is not None:
+            yield from self.phone.register_dir(dir_id, parent_id, name)
+            return None
+        yield from self.metadata_channel.call(
+            "meta.register_dir", dir_id=dir_id, parent_id=parent_id, name=name
+        )
+        return None
+
+    def register_xattr(self, audit_id: bytes, name: str, value: bytes) -> Generator:
+        """Extension: xattr metadata registration (direct channel)."""
+        yield from self.metadata_channel.call(
+            "meta.register_xattr", audit_id=audit_id, name=name, value=value
+        )
+        return None
+
+    def _private_key_from(self, response: dict) -> IbePrivateKey:
+        params = self.metadata_service.pkg.params
+        point = Point(
+            Fp2.from_int(response["point_x"], params.p),
+            Fp2.from_int(response["point_y"], params.p),
+        )
+        return IbePrivateKey(identity=response["identity"], point=point)

@@ -1,0 +1,813 @@
+"""KeypadFS: the auditing file system (paper §3–§4).
+
+Keypad extends the EncFS stacking with per-file keys escrowed on the
+remote key service:
+
+* every protected file gets a random 192-bit **audit ID** and a random
+  **data key** K_D; K_D is stored in the file header wrapped under a
+  **remote key** K_R known only to the key service;
+* content reads/writes need K_D, so a cold access forces a ``key.fetch``
+  RPC that the service *durably logs before answering* — the audit
+  trail;
+* fetched keys live in the expiring :class:`KeyCache` (§3.3), with
+  directory-level prefetching to absorb scanning workloads;
+* metadata updates (create/rename) either block on the metadata
+  service, or — with IBE enabled (§3.4) — lock the wrapped data key
+  under the identity ``directoryID/filename|auditID`` and complete
+  asynchronously: the file stays usable for one second from cache,
+  after which it is unreadable until the metadata service confirms the
+  registration and releases the IBE private key;
+* unprotected files (partial coverage, §3.6) behave exactly like EncFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.costmodel import DEFAULT_COSTS, CostModel
+from repro.crypto.ibe import decrypt as ibe_decrypt
+from repro.encfs.fs import StackedCryptFs
+from repro.encfs.volume import Volume
+from repro.errors import (
+    FileNotFound,
+    KeypadError,
+    LockedFileError,
+    NetworkUnavailableError,
+    RevokedError,
+)
+from repro.sim import Simulation
+from repro.storage.fsiface import FsInterface
+from repro.util.paths import basename, normalize, parent_of
+from repro.core.client import DeviceServices
+from repro.core.header import (
+    AUDIT_ID_LEN,
+    DATA_KEY_LEN,
+    KEYPAD_HEADER_LEN,
+    KeypadHeader,
+    pack_header,
+    parse_header,
+    unwrap_data_key,
+    wrap_data_key,
+)
+from repro.core.keycache import KeyCache
+from repro.core.policy import KeypadConfig
+from repro.core.prefetch import make_policy
+from repro.core.services.metadataservice import ROOT_DIR_ID, identity_string
+
+__all__ = ["KeypadFS"]
+
+_REMOTE_KEY_LEN = 32
+
+
+@dataclass
+class _PendingRegistration:
+    """State of one in-flight IBE metadata registration.
+
+    A rename of a still-locked file *supersedes* the registration
+    (updates identity/path) rather than blocking on it — the background
+    process keeps registering until the acked identity matches the
+    current one, so the service always ends up with the latest path
+    (intermediate paths land in the append-only log as history).
+    """
+
+    audit_id: bytes
+    wrapped: bytes
+    identity: bytes
+    path_hint: str
+    event: Any
+    upload_key: Optional[bytes]
+
+
+class KeypadFS(StackedCryptFs):
+    """The Keypad client file system."""
+
+    HEADER_LEN = KEYPAD_HEADER_LEN
+
+    def __init__(
+        self,
+        sim: Simulation,
+        lower: FsInterface,
+        volume: Volume,
+        services: DeviceServices,
+        config: KeypadConfig = KeypadConfig(),
+        costs: CostModel = DEFAULT_COSTS,
+        drbg_seed: bytes = b"keypad-device",
+        verify_content: bool = False,
+    ):
+        super().__init__(sim, lower, volume, costs, drbg_seed=drbg_seed,
+                         verify_content=verify_content)
+        self.services = services
+        self.config = config
+        self.is_protected = config.coverage()
+        self.key_cache = KeyCache(sim, refresh_fn=self._refresh_key)
+        self.prefetch_policy = make_policy(config.prefetch)
+        self.ibe_params = services.metadata_service.pkg.params
+        self.ibe_public = services.metadata_service.pkg.public(
+            seed=drbg_seed + b"|ibe"
+        )
+        self._dir_ids: dict[str, str] = {"/": ROOT_DIR_ID}
+        self._next_dir_serial = 0
+        self._pending_unlocks: dict[bytes, Any] = {}
+        # Extension state: launch profiles + async dir registration acks.
+        from repro.core.launchprofile import LaunchProfiler
+
+        self.launch_profiler = LaunchProfiler()
+        self._dir_acks: dict[str, Any] = {}  # dir_id -> Event (pending)
+        self._prand = None  # lazy SimRandom for random prefetch sampling
+        self.stats: dict[str, int] = {
+            "blocking_key_fetches": 0,
+            "prefetch_batches": 0,
+            "prefetched_keys": 0,
+            "blocking_metadata_ops": 0,
+            "async_metadata_ops": 0,
+            "ibe_locks": 0,
+            "ibe_unlocks": 0,
+            "unlock_waits": 0,
+            "blocking_unlocks": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Cost charging (Keypad is a modified EncFS; same base CPU costs).
+    # ------------------------------------------------------------------
+    def _charge(self, op: str) -> Generator:
+        extra = {
+            "read": self.costs.encfs_read_extra,
+            "write": self.costs.encfs_write_extra,
+            "create": self.costs.encfs_create_extra,
+            "rename": self.costs.encfs_rename_extra,
+            "mkdir": self.costs.encfs_mkdir_extra,
+        }[op]
+        yield self.sim.timeout(extra)
+        return None
+
+    # ------------------------------------------------------------------
+    # Directory identifiers (metadata is dir_id/filename tuples).
+    # ------------------------------------------------------------------
+    def _dir_id(self, dir_path: str) -> str:
+        dir_path = normalize(dir_path)
+        try:
+            return self._dir_ids[dir_path]
+        except KeyError:
+            raise KeypadError(
+                f"directory {dir_path} has no registered ID "
+                "(was it created through KeypadFS?)"
+            ) from None
+
+    def _new_dir_id(self) -> str:
+        self._next_dir_serial += 1
+        token = self.drbg.generate(8).hex()
+        return f"d-{token}-{self._next_dir_serial}"
+
+    def _ensure_dir_id(self, dir_path: str) -> Generator:
+        """Resolve (registering lazily) a protected directory's ID.
+
+        Directories normally get IDs at mkdir, but a directory can
+        *move into* the protected domain (a rename across the coverage
+        boundary) or predate protection.  Registration is blocking and
+        parent-first so the service can always resolve full paths.
+        """
+        dir_path = normalize(dir_path)
+        existing = self._dir_ids.get(dir_path)
+        if existing is not None:
+            return existing
+        parent_id = ROOT_DIR_ID
+        if dir_path != "/":
+            parent_id = yield from self._ensure_dir_id(parent_of(dir_path))
+        dir_id = self._new_dir_id()
+        self._dir_ids[dir_path] = dir_id
+        self.stats["blocking_metadata_ops"] += 1
+        name = "/" if dir_path == "/" else basename(dir_path)
+        yield from self.services.register_dir(dir_id, parent_id, name)
+        return dir_id
+
+    # ------------------------------------------------------------------
+    # Header management.
+    # ------------------------------------------------------------------
+    def _parse_header(self, path: str, raw: bytes) -> Generator:
+        return parse_header(raw, self.volume, self.ibe_params)
+        yield  # pragma: no cover
+
+    def _new_header(self, path: str) -> Generator:
+        raise AssertionError("KeypadFS overrides create() directly")
+        yield  # pragma: no cover
+
+    def _store_header(self, path: str, header: KeypadHeader) -> Generator:
+        raw = pack_header(header, self.volume, self.drbg, self.ibe_params)
+        yield from self.lower.write(self._enc(path), 0, raw)
+        self._header_cache[normalize(path)] = header
+        return None
+
+    # ------------------------------------------------------------------
+    # Key acquisition: the heart of the audit protocol.
+    # ------------------------------------------------------------------
+    def _refresh_key(self, audit_id: bytes) -> Generator:
+        key = yield from self.services.fetch_key(audit_id, kind="refresh")
+        return key
+
+    def _content_key(self, path: str, parsed: Any, write: bool) -> Generator:
+        header: KeypadHeader = parsed
+        if not header.protected:
+            return self.volume.content_stream_key(header.file_iv), header.file_iv
+
+        audit_id = header.audit_id
+        nonce = audit_id[:16].ljust(16, b"\x00")
+        self.launch_profiler.note_access(normalize(path))
+        entry = self.key_cache.get(audit_id)
+        if entry is not None:
+            yield self.sim.timeout(self.costs.keypad_hit_extra)
+            return entry.data_key, nonce
+
+        path = normalize(path)
+        if header.locked:
+            header = yield from self._await_unlocked(path, header)
+            entry = self.key_cache.get(audit_id)
+            if entry is not None:
+                return entry.data_key, nonce
+
+        # Blocking fetch from the key service (this is the audited path).
+        self.stats["blocking_key_fetches"] += 1
+        if self.services.phone is not None:
+            # Directory-level hint so the phone can prefetch related
+            # keys into its hoard (§3.5).
+            directory = parent_of(path)
+            self.services.phone.related_hint = [
+                h.audit_id
+                for p, h in self._header_cache.items()
+                if h.protected and h.audit_id != audit_id
+                and parent_of(p) == directory and not h.locked
+            ][:32]
+        remote_key = yield from self.services.fetch_key(audit_id)
+        yield self.sim.timeout(self.costs.keypad_header_crypt)
+        data_key = unwrap_data_key(header.wrapped_kd, remote_key)
+        self.key_cache.put(audit_id, remote_key, data_key, texp=self.config.texp)
+        yield from self._maybe_prefetch(path)
+        return data_key, nonce
+
+    def _await_unlocked(self, path: str, header: KeypadHeader) -> Generator:
+        """Resolve an IBE-locked header, waiting or unlocking inline."""
+        pending = self._pending_unlocks.get(header.audit_id)
+        if pending is not None:
+            self.stats["unlock_waits"] += 1
+            yield pending.event
+        else:
+            yield from self._unlock_blocking(path, header)
+        refreshed = self._header_cache.get(normalize(path))
+        if refreshed is None or refreshed.locked:
+            # Re-read from disk (unlock may have landed before a crash).
+            self._evict_header(normalize(path))
+            refreshed = yield from self._header(path)
+            if refreshed.locked:
+                raise LockedFileError(f"{path} is still IBE-locked")
+        return refreshed
+
+    def _unlock_blocking(self, path: str, header: KeypadHeader) -> Generator:
+        """Foreground unlock: register the identity, decrypt, rewrite.
+
+        This is the path a post-crash client — or a thief driving the
+        Keypad software — takes: it cannot avoid presenting the
+        correct identity (path + audit ID) to the metadata service.
+        """
+        self.stats["blocking_unlocks"] += 1
+        private_key = yield from self.services.register_file_ibe(header.identity)
+        if private_key is None:
+            raise LockedFileError(
+                f"{path}: paired device deferred the registration; "
+                "the wrapped key is unavailable until service sync"
+            )
+        yield self.sim.timeout(self.costs.keypad_ibe_decrypt)
+        wrapped = ibe_decrypt(self.ibe_params, private_key, header.ibe_blob)
+        new_header = header.unlocked_copy(wrapped)
+        yield from self._store_header(path, new_header)
+        self.stats["ibe_unlocks"] += 1
+        return new_header
+
+    # ------------------------------------------------------------------
+    # Prefetching.
+    # ------------------------------------------------------------------
+    def _maybe_prefetch(self, path: str) -> Generator:
+        directory = parent_of(path)
+        decision = self.prefetch_policy.on_miss(directory)
+        if decision.whole_directory:
+            yield from self._prefetch_directory(directory, exclude=path)
+            self.prefetch_policy.on_directory_prefetched(directory)
+        elif decision.sample_count:
+            yield from self._prefetch_sample(
+                directory, decision.sample_count, exclude=path
+            )
+        return None
+
+    def _prefetch_candidates(self, directory: str, exclude: str) -> Generator:
+        """Sibling files whose keys are absent from the cache."""
+        names = yield from self.lower.readdir(self._enc(directory))
+        candidates = []
+        for token in names:
+            try:
+                name = self.volume.decrypt_name(token)
+            except Exception:
+                continue
+            child = normalize(f"{directory}/{name}")
+            if child == exclude:
+                continue
+            attr = yield from self.lower.getattr(self._enc(child))
+            if attr.is_dir:
+                continue  # non-recursive by design
+            try:
+                child_header = yield from self._header(child)
+            except Exception:
+                continue
+            if not child_header.protected or child_header.locked:
+                continue
+            if self.key_cache.get(child_header.audit_id, mark_used=False):
+                continue
+            candidates.append((child, child_header))
+        return candidates
+
+    def _prefetch_directory(self, directory: str, exclude: str) -> Generator:
+        candidates = yield from self._prefetch_candidates(directory, exclude)
+        if not candidates:
+            return None
+        yield from self._prefetch_fetch(candidates)
+        return None
+
+    def _prefetch_sample(self, directory: str, count: int, exclude: str) -> Generator:
+        candidates = yield from self._prefetch_candidates(directory, exclude)
+        if not candidates:
+            return None
+        if len(candidates) > count:
+            if self._prand is None:
+                from repro.sim import SimRandom
+
+                self._prand = SimRandom(self.drbg.generate(16), "prefetch")
+            candidates = self._prand.sample(candidates, count)
+        yield from self._prefetch_fetch(candidates)
+        return None
+
+    def _prefetch_fetch(self, candidates: list) -> Generator:
+        audit_ids = [h.audit_id for _, h in candidates]
+        keys = yield from self.services.fetch_keys(audit_ids, kind="prefetch")
+        self.stats["prefetch_batches"] += 1
+        for (child, child_header), remote_key in zip(candidates, keys):
+            if not remote_key:
+                continue
+            data_key = unwrap_data_key(child_header.wrapped_kd, remote_key)
+            self.key_cache.put(
+                child_header.audit_id,
+                remote_key,
+                data_key,
+                texp=self.config.texp,
+                prefetched=True,
+            )
+            self.stats["prefetched_keys"] += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Creation (Fig. 3 flows).
+    # ------------------------------------------------------------------
+    def create(self, path: str) -> Generator:
+        self._count("create")
+        yield from self._charge("create")
+        path = normalize(path)
+        if not self.is_protected(path):
+            yield from self._create_unprotected(path)
+            return None
+
+        dir_id = yield from self._ensure_dir_id(parent_of(path))
+        name = basename(path)
+        audit_id = self.drbg.generate(AUDIT_ID_LEN)
+        data_key = self.drbg.generate(DATA_KEY_LEN)
+        yield from self.lower.create(self._enc(path))
+
+        if self.config.ibe_enabled:
+            yield from self._create_with_ibe(path, dir_id, name, audit_id, data_key)
+        else:
+            yield from self._create_blocking(path, dir_id, name, audit_id, data_key)
+        return None
+
+    def _create_unprotected(self, path: str) -> Generator:
+        yield from self.lower.create(self._enc(path))
+        header = KeypadHeader(protected=False, file_iv=self.drbg.generate(16))
+        yield from self._store_header(path, header)
+        return None
+
+    def _create_blocking(
+        self, path: str, dir_id: str, name: str, audit_id: bytes, data_key: bytes
+    ) -> Generator:
+        """Non-IBE create: key-create and metadata-register run
+        concurrently, but both must ack before the create returns
+        (§3.1: "Keypad must confirm that both requests complete before
+        it allows access to the new file")."""
+        self.stats["blocking_metadata_ops"] += 1
+        key_proc = self.sim.process(
+            self.services.create_key(audit_id), name="create-key"
+        )
+        meta_proc = self.sim.process(
+            self.services.register_file(audit_id, dir_id, name),
+            name="create-meta",
+        )
+        results = yield self.sim.all_of([key_proc, meta_proc])
+        remote_key = results[0]
+        yield self.sim.timeout(self.costs.keypad_header_crypt)
+        wrapped = wrap_data_key(data_key, remote_key, self.drbg)
+        header = KeypadHeader(protected=True, audit_id=audit_id, wrapped_kd=wrapped)
+        yield from self._store_header(path, header)
+        self.key_cache.put(audit_id, remote_key, data_key, texp=self.config.texp)
+        return None
+
+    def _create_with_ibe(
+        self, path: str, dir_id: str, name: str, audit_id: bytes, data_key: bytes
+    ) -> Generator:
+        """IBE create: lock the header locally, register asynchronously.
+
+        The remote key is generated client-side and uploaded in the
+        same background process (idempotent ``key.put``); until the
+        metadata service acks, the file is readable only via the
+        1-second in-flight cache entry.
+        """
+        remote_key = self.drbg.generate(_REMOTE_KEY_LEN)
+        yield self.sim.timeout(self.costs.keypad_header_crypt)
+        wrapped = wrap_data_key(data_key, remote_key, self.drbg)
+        identity = identity_string(dir_id, name, audit_id)
+        yield self.sim.timeout(self.costs.keypad_ibe_encrypt)
+        blob = self.ibe_public.encrypt(identity, wrapped)
+        header = KeypadHeader(
+            protected=True, audit_id=audit_id, ibe_blob=blob, identity=identity
+        )
+        yield from self._store_header(path, header)
+        self.key_cache.put(
+            audit_id, remote_key, data_key,
+            texp=self.config.texp_inflight, refreshable=False,
+        )
+        self.stats["ibe_locks"] += 1
+        self.stats["async_metadata_ops"] += 1
+        self._spawn_registration(
+            audit_id, identity, path, wrapped, upload_key=remote_key
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    # Rename (Fig. 3b).
+    # ------------------------------------------------------------------
+    def rename(self, old: str, new: str) -> Generator:
+        self._count("rename")
+        yield from self._charge("rename")
+        old = normalize(old)
+        new = normalize(new)
+        attr = yield from self.lower.getattr(self._enc(old))
+        if attr.is_dir:
+            yield from self._rename_directory(old, new)
+            return None
+
+        header = yield from self._header(old)
+        if not header.protected:
+            yield from self.lower.rename(self._enc(old), self._enc(new))
+            self._move_header(old, new)
+            return None
+
+        dir_id = yield from self._ensure_dir_id(parent_of(new))
+        name = basename(new)
+        if header.locked and self.config.ibe_enabled:
+            pending = self._pending_unlocks.get(header.audit_id)
+            if pending is not None:
+                # Supersede the in-flight registration: re-lock under
+                # the new identity without blocking (Fig. 3b's overlap
+                # applies to back-to-back metadata updates too).
+                yield from self._relock_pending(old, new, header, pending,
+                                                dir_id, name)
+                return None
+            header = yield from self._await_unlocked(old, header)
+        elif header.locked:
+            header = yield from self._await_unlocked(old, header)
+
+        if self.config.ibe_enabled:
+            yield from self._rename_with_ibe(old, new, header, dir_id, name)
+        else:
+            yield from self.lower.rename(self._enc(old), self._enc(new))
+            self._move_header(old, new)
+            self.stats["blocking_metadata_ops"] += 1
+            yield from self.services.register_file(header.audit_id, dir_id, name)
+        return None
+
+    def _relock_pending(
+        self,
+        old: str,
+        new: str,
+        header: KeypadHeader,
+        pending: _PendingRegistration,
+        dir_id: str,
+        name: str,
+    ) -> Generator:
+        identity = identity_string(dir_id, name, header.audit_id)
+        yield self.sim.timeout(self.costs.keypad_ibe_encrypt)
+        blob = self.ibe_public.encrypt(identity, pending.wrapped)
+        locked = header.locked_copy(blob, identity)
+        yield from self._store_header(old, locked)
+        yield from self.lower.rename(self._enc(old), self._enc(new))
+        self._move_header(old, new)
+        pending.identity = identity
+        pending.path_hint = normalize(new)
+        self.key_cache.restrict(header.audit_id, self.config.texp_inflight)
+        self.stats["ibe_locks"] += 1
+        self.stats["async_metadata_ops"] += 1
+        return None
+
+    def _rename_with_ibe(
+        self, old: str, new: str, header: KeypadHeader, dir_id: str, name: str
+    ) -> Generator:
+        identity = identity_string(dir_id, name, header.audit_id)
+        yield self.sim.timeout(self.costs.keypad_ibe_encrypt)
+        blob = self.ibe_public.encrypt(identity, header.wrapped_kd)
+        locked = header.locked_copy(blob, identity)
+        yield from self._store_header(old, locked)
+        yield from self.lower.rename(self._enc(old), self._enc(new))
+        self._move_header(old, new)
+        # Shorten the cached key's life to the in-flight window.
+        self.key_cache.restrict(header.audit_id, self.config.texp_inflight)
+        self.stats["ibe_locks"] += 1
+        self.stats["async_metadata_ops"] += 1
+        self._spawn_registration(
+            header.audit_id, identity, new, header.wrapped_kd, upload_key=None
+        )
+        return None
+
+    def _rename_directory(self, old: str, new: str) -> Generator:
+        yield from self.lower.rename(self._enc(old), self._enc(new))
+        self._move_subtree(old, new)
+        if self.is_protected(new):
+            dir_id = self._dir_ids.get(normalize(new))
+            if dir_id is None:
+                # The directory moved INTO the protected domain: give
+                # it (and any missing ancestors) IDs now.
+                yield from self._ensure_dir_id(new)
+                return None
+            parent_id = yield from self._ensure_dir_id(parent_of(new))
+            # Directory metadata updates do not use IBE in the
+            # prototype ("it does not apply it to directory metadata
+            # operations"), so this blocks on the service.
+            self.stats["blocking_metadata_ops"] += 1
+            yield from self.services.register_dir(dir_id, parent_id, basename(new))
+        return None
+
+    def _move_subtree(self, old: str, new: str) -> None:
+        """Rewrite path-keyed client state after a directory rename."""
+        old_prefix = normalize(old)
+        new_prefix = normalize(new)
+
+        def remap(path: str) -> str:
+            if path == old_prefix:
+                return new_prefix
+            if path.startswith(old_prefix + "/"):
+                return new_prefix + path[len(old_prefix):]
+            return path
+
+        self._header_cache = {
+            remap(p): h for p, h in self._header_cache.items()
+        }
+        self._dir_ids = {remap(p): d for p, d in self._dir_ids.items()}
+
+    # ------------------------------------------------------------------
+    # Background registration / unlock.
+    # ------------------------------------------------------------------
+    def _spawn_registration(
+        self,
+        audit_id: bytes,
+        identity: bytes,
+        path_hint: str,
+        wrapped: bytes,
+        upload_key: Optional[bytes],
+    ) -> None:
+        pending = _PendingRegistration(
+            audit_id=audit_id,
+            wrapped=wrapped,
+            identity=identity,
+            path_hint=normalize(path_hint),
+            event=self.sim.event(),
+            upload_key=upload_key,
+        )
+        self._pending_unlocks[audit_id] = pending
+        self.sim.process(
+            self._registration_process(pending),
+            name=f"keypad-register-{audit_id.hex()[:8]}",
+        )
+
+    def _registration_process(self, pending: _PendingRegistration) -> Generator:
+        audit_id = pending.audit_id
+        attempts = 0
+        # Extension ordering: if the file's directory registration is
+        # still in flight (ibe_for_directories), wait for its ack so
+        # the service can always resolve the file's full path.
+        dir_id = pending.identity.split(b"/", 1)[0].decode()
+        dir_ack = self._dir_acks.get(dir_id)
+        if dir_ack is not None and not dir_ack.triggered:
+            yield dir_ack
+        while True:
+            try:
+                if pending.upload_key is not None:
+                    yield from self.services.put_key(
+                        audit_id, pending.upload_key
+                    )
+                    pending.upload_key = None
+                identity = pending.identity
+                yield from self.services.register_file_ibe(identity)
+                if identity == pending.identity:
+                    break
+                # Superseded by a rename while the RPC was in flight:
+                # register the newest identity too (the service's log
+                # is append-only; intermediate paths become history).
+            except (NetworkUnavailableError, KeypadError) as exc:
+                if isinstance(exc, RevokedError):
+                    self._pending_unlocks.pop(audit_id, None)
+                    pending.event.fail(exc)
+                    return None
+                attempts += 1
+                if attempts >= self.config.registration_max_retries:
+                    self._pending_unlocks.pop(audit_id, None)
+                    pending.event.fail(
+                        LockedFileError(
+                            f"metadata registration for {pending.path_hint} "
+                            f"failed after {attempts} attempts"
+                        )
+                    )
+                    return None
+                yield self.sim.timeout(self.config.registration_retry_delay)
+
+        # Unlock: the paper decrypts the on-disk key with IBE in a
+        # background thread.  We hold the cleartext wrapped blob from
+        # the lock step, so the IBE decryption cost is charged without
+        # redundantly recomputing the identical bytes.  (A client that
+        # crashed in between takes the _unlock_blocking path instead,
+        # which performs the real IBE decryption.)
+        yield self.sim.timeout(self.costs.keypad_ibe_decrypt)
+        path_hint = pending.path_hint
+        exists = yield from self.lower.exists(self._enc(path_hint))
+        if exists:
+            current = self._header_cache.get(path_hint)
+            if current is not None and current.audit_id == audit_id and current.locked:
+                new_header = current.unlocked_copy(pending.wrapped)
+                yield from self._store_header(path_hint, new_header)
+                self.stats["ibe_unlocks"] += 1
+                # Restore the full expiration now that metadata is safe.
+                self.key_cache.extend(audit_id, self.config.texp)
+        self._pending_unlocks.pop(audit_id, None)
+        if not pending.event.triggered:
+            pending.event.succeed()
+        return None
+
+    # ------------------------------------------------------------------
+    # Remaining namespace operations.
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str) -> Generator:
+        self._count("mkdir")
+        yield from self._charge("mkdir")
+        path = normalize(path)
+        yield from self.lower.mkdir(self._enc(path))
+        if self.is_protected(path):
+            parent_id = self._dir_id(parent_of(path))
+            dir_id = self._new_dir_id()
+            self._dir_ids[path] = dir_id
+            if self.config.ibe_for_directories:
+                # Extension: asynchronous directory registration.  Any
+                # file registered under this directory waits (in the
+                # background) for the dir ack, so its IBE lock cannot
+                # resolve before the directory's metadata is durable.
+                self.stats["async_metadata_ops"] += 1
+                self._dir_acks[dir_id] = self.sim.event()
+                self.sim.process(
+                    self._register_dir_process(
+                        dir_id, parent_id, basename(path)
+                    ),
+                    name=f"keypad-dirreg-{dir_id}",
+                )
+            else:
+                self.stats["blocking_metadata_ops"] += 1
+                yield from self.services.register_dir(
+                    dir_id, parent_id, basename(path)
+                )
+        return None
+
+    def _register_dir_process(
+        self, dir_id: str, parent_id: str, name: str
+    ) -> Generator:
+        attempts = 0
+        while True:
+            try:
+                yield from self.services.register_dir(dir_id, parent_id, name)
+                break
+            except (NetworkUnavailableError, KeypadError):
+                attempts += 1
+                if attempts >= self.config.registration_max_retries:
+                    return None  # ack never fires; files stay locked
+                yield self.sim.timeout(self.config.registration_retry_delay)
+        event = self._dir_acks.pop(dir_id, None)
+        if event is not None and not event.triggered:
+            event.succeed()
+        return None
+
+    def rmdir(self, path: str) -> Generator:
+        yield from super().rmdir(path)
+        self._dir_ids.pop(normalize(path), None)
+        return None
+
+    def unlink(self, path: str) -> Generator:
+        path = normalize(path)
+        header = self._header_cache.get(path)
+        yield from super().unlink(path)
+        if header is not None and header.protected:
+            self.key_cache.evict(header.audit_id)
+        return None
+
+    def truncate(self, path: str, size: int) -> Generator:
+        """Truncation is a content operation: it must be audited too."""
+        self._count("truncate")
+        yield from self._charge("write")
+        header = yield from self._header(path)
+        if header.protected:
+            yield from self._content_key(path, header, write=True)
+        yield from self.lower.truncate(self._enc(path), self.HEADER_LEN + size)
+        return None
+
+    def set_xattr(self, path: str, name: str, value: bytes) -> Generator:
+        """Extension: xattr updates are registered as metadata (§4)."""
+        yield from self.lower.set_xattr(self._enc(path), name, value)
+        if self.config.track_xattrs:
+            header = yield from self._header(path)
+            if header.protected:
+                self.stats["blocking_metadata_ops"] += 1
+                yield from self.services.register_xattr(
+                    header.audit_id, name, value
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # Extension: application-launch key-profile prefetching (§5.1.2).
+    # ------------------------------------------------------------------
+    def begin_launch_profile(self, app: str) -> None:
+        self.launch_profiler.begin(app)
+
+    def end_launch_profile(self) -> list[str]:
+        return self.launch_profiler.end()
+
+    def prefetch_launch_profile(self, app: str) -> Generator:
+        """Batch-prefetch the keys an app's launch profile names."""
+        candidates = []
+        for path in self.launch_profiler.profile_for(app):
+            exists = yield from self.lower.exists(self._enc(path))
+            if not exists:
+                continue
+            try:
+                header = yield from self._header(path)
+            except Exception:
+                continue
+            if not header.protected or header.locked:
+                continue
+            if self.key_cache.get(header.audit_id, mark_used=False):
+                continue
+            candidates.append((path, header))
+        if not candidates:
+            return 0
+        keys = yield from self.services.fetch_keys(
+            [h.audit_id for _, h in candidates], kind="profile-prefetch"
+        )
+        fetched = 0
+        for (_path, header), remote_key in zip(candidates, keys):
+            if not remote_key:
+                continue
+            data_key = unwrap_data_key(header.wrapped_kd, remote_key)
+            self.key_cache.put(
+                header.audit_id, remote_key, data_key,
+                texp=self.config.texp, prefetched=True,
+            )
+            fetched += 1
+        self.stats["prefetched_keys"] += fetched
+        return fetched
+
+    # ------------------------------------------------------------------
+    # Device lifecycle.
+    # ------------------------------------------------------------------
+    def hibernate(self) -> Generator:
+        """Evict all cached keys and (best-effort) notify the service.
+
+        §6: "Cached keys should be evicted from memory upon device
+        hibernation, and such evictions should be recorded on the
+        audit servers."
+        """
+        count = self.key_cache.evict_all()
+        try:
+            yield from self.services.notify_evictions(count, "hibernate")
+        except (NetworkUnavailableError, KeypadError):
+            pass
+        return None
+
+    def audit_id_of(self, path: str) -> Generator:
+        """The audit ID bound to a protected file (forensics/tests)."""
+        header = yield from self._header(path)
+        return header.audit_id if header.protected else None
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        return {
+            "hits": self.key_cache.hits,
+            "misses": self.key_cache.misses,
+            "refreshes": self.key_cache.refreshes,
+            "expirations": self.key_cache.expirations,
+        }

@@ -1,0 +1,186 @@
+"""Keypad on-disk file headers (paper Figure 5).
+
+Two states:
+
+* **Normal** (Fig. 5a): header holds the 192-bit audit ID and the data
+  key K_D wrapped under the remote key K_R (held by the key service).
+* **IBE-locked** (Fig. 5b): the wrapped data key is *further* encrypted
+  with IBE under the identity ``directoryID/filename|auditID`` while a
+  metadata update is in flight; only the metadata service (the PKG) can
+  release the matching private key — after durably logging the
+  identity.
+
+The whole header is sealed under the EncFS volume key ("The file's
+header is fixed size and is encrypted using EncFS' volume key") and
+padded to a fixed 1024 bytes so file offsets stay stable across
+lock/unlock transitions.
+
+Unprotected files (partial coverage, §3.6) carry a degenerate header:
+just an EncFS-style per-file IV, no audit ID, no remote key.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.crypto.aead import NONCE_LEN, AesCtrHmacAead
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ibe import BfParams, IbeCiphertext
+from repro.encfs.volume import Volume
+from repro.errors import CryptoError, IntegrityError
+
+__all__ = [
+    "KeypadHeader",
+    "KEYPAD_HEADER_LEN",
+    "AUDIT_ID_LEN",
+    "DATA_KEY_LEN",
+    "WRAPPED_KD_LEN",
+    "wrap_data_key",
+    "unwrap_data_key",
+    "pack_header",
+    "parse_header",
+]
+
+KEYPAD_HEADER_LEN = 1024
+AUDIT_ID_LEN = 24
+DATA_KEY_LEN = 32
+WRAPPED_KD_LEN = NONCE_LEN + DATA_KEY_LEN + 32  # nonce + sealed KD + tag
+
+_MAGIC = b"KPAD"
+_FLAG_PROTECTED = 0x01
+_FLAG_LOCKED = 0x02
+
+
+@dataclass(frozen=True)
+class KeypadHeader:
+    """Parsed header state."""
+
+    protected: bool
+    audit_id: Optional[bytes] = None
+    wrapped_kd: Optional[bytes] = None        # normal state
+    ibe_blob: Optional[IbeCiphertext] = None  # locked state
+    identity: Optional[bytes] = None          # locked state
+    file_iv: Optional[bytes] = None           # unprotected files
+
+    @property
+    def locked(self) -> bool:
+        return self.ibe_blob is not None
+
+    def unlocked_copy(self, wrapped_kd: bytes) -> "KeypadHeader":
+        return replace(self, wrapped_kd=wrapped_kd, ibe_blob=None, identity=None)
+
+    def locked_copy(self, blob: IbeCiphertext, identity: bytes) -> "KeypadHeader":
+        return replace(self, wrapped_kd=None, ibe_blob=blob, identity=identity)
+
+
+# -- data-key wrapping under the remote key ---------------------------------
+
+def wrap_data_key(data_key: bytes, remote_key: bytes, drbg: HmacDrbg) -> bytes:
+    """E_{K_R}(K_D): the 80-byte wrapped-key blob."""
+    if len(data_key) != DATA_KEY_LEN:
+        raise CryptoError("data key must be 32 bytes")
+    nonce = drbg.generate(NONCE_LEN)
+    sealed = AesCtrHmacAead(remote_key).seal(nonce, data_key, aad=b"kd-wrap")
+    blob = nonce + sealed
+    assert len(blob) == WRAPPED_KD_LEN
+    return blob
+
+
+def unwrap_data_key(blob: bytes, remote_key: bytes) -> bytes:
+    """Recover K_D; raises IntegrityError under the wrong K_R."""
+    if len(blob) != WRAPPED_KD_LEN:
+        raise CryptoError("malformed wrapped data key")
+    nonce, sealed = blob[:NONCE_LEN], blob[NONCE_LEN:]
+    return AesCtrHmacAead(remote_key).open(nonce, sealed, aad=b"kd-wrap")
+
+
+# -- serialization ----------------------------------------------------------------
+
+def _pack_ibe(blob: IbeCiphertext, params: BfParams) -> bytes:
+    coord = (params.p.bit_length() + 7) // 8
+    return (
+        blob.u_x.to_bytes(coord, "big")
+        + blob.u_y.to_bytes(coord, "big")
+        + struct.pack(">H", len(blob.sealed))
+        + blob.sealed
+    )
+
+
+def _unpack_ibe(data: bytes, params: BfParams) -> tuple[IbeCiphertext, bytes]:
+    coord = (params.p.bit_length() + 7) // 8
+    u_x = int.from_bytes(data[:coord], "big")
+    u_y = int.from_bytes(data[coord:2 * coord], "big")
+    (sealed_len,) = struct.unpack_from(">H", data, 2 * coord)
+    start = 2 * coord + 2
+    sealed = data[start:start + sealed_len]
+    rest = data[start + sealed_len:]
+    return IbeCiphertext(u_x=u_x, u_y=u_y, sealed=sealed), rest
+
+
+def pack_header(
+    header: KeypadHeader,
+    volume: Volume,
+    drbg: HmacDrbg,
+    ibe_params: Optional[BfParams] = None,
+) -> bytes:
+    """Serialize + seal a header into the fixed 1024-byte region."""
+    if header.protected:
+        flags = _FLAG_PROTECTED
+        body = header.audit_id
+        if header.locked:
+            flags |= _FLAG_LOCKED
+            if ibe_params is None:
+                raise CryptoError("IBE params required to pack a locked header")
+            ibe_bytes = _pack_ibe(header.ibe_blob, ibe_params)
+            body += struct.pack(">H", len(header.identity)) + header.identity
+            body += ibe_bytes
+        else:
+            body += header.wrapped_kd
+    else:
+        flags = 0
+        body = header.file_iv
+
+    nonce = drbg.generate(NONCE_LEN)
+    sealed = volume.header_suite.seal(nonce, body, aad=_MAGIC + bytes([flags]))
+    raw = _MAGIC + bytes([flags]) + struct.pack(">H", len(sealed)) + nonce + sealed
+    if len(raw) > KEYPAD_HEADER_LEN:
+        raise CryptoError("header overflow (IBE parameters too large)")
+    return raw.ljust(KEYPAD_HEADER_LEN, b"\x00")
+
+
+def parse_header(
+    raw: bytes,
+    volume: Volume,
+    ibe_params: Optional[BfParams] = None,
+) -> KeypadHeader:
+    """Verify + parse a header region."""
+    if len(raw) < KEYPAD_HEADER_LEN or raw[:4] != _MAGIC:
+        raise CryptoError("bad Keypad header magic")
+    flags = raw[4]
+    (sealed_len,) = struct.unpack_from(">H", raw, 5)
+    nonce = raw[7:7 + NONCE_LEN]
+    sealed = raw[7 + NONCE_LEN:7 + NONCE_LEN + sealed_len]
+    try:
+        body = volume.header_suite.open(nonce, sealed, aad=_MAGIC + bytes([flags]))
+    except IntegrityError as exc:
+        raise CryptoError("Keypad header verification failed") from exc
+
+    if not flags & _FLAG_PROTECTED:
+        return KeypadHeader(protected=False, file_iv=body)
+
+    audit_id = body[:AUDIT_ID_LEN]
+    rest = body[AUDIT_ID_LEN:]
+    if flags & _FLAG_LOCKED:
+        if ibe_params is None:
+            raise CryptoError("IBE params required to parse a locked header")
+        (ident_len,) = struct.unpack_from(">H", rest, 0)
+        identity = rest[2:2 + ident_len]
+        blob, _ = _unpack_ibe(rest[2 + ident_len:], ibe_params)
+        return KeypadHeader(
+            protected=True, audit_id=audit_id, ibe_blob=blob, identity=identity
+        )
+    return KeypadHeader(
+        protected=True, audit_id=audit_id, wrapped_kd=rest[:WRAPPED_KD_LEN]
+    )

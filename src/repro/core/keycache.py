@@ -1,0 +1,276 @@
+"""The device-side encryption-key cache (§3.3, §4 "Key Expiration").
+
+Semantics from the paper:
+
+* keys live for ``Texp`` seconds, then a background thread purges them;
+* if a key was *reused* during its lifetime, the purge thread re-fetches
+  it from the key service — producing a fresh audit record — and, if
+  the response arrives in time, extends the entry ("absent network
+  failures, keys in Keypad never expire while in use");
+* keys for files with in-flight metadata updates get a much shorter
+  lifetime (1 s) to shrink the attack window;
+* everything cached at ``Tloss`` must be assumed compromised, so the
+  cache tracks its own occupancy statistics (time-weighted average and
+  peak) — the quantity plotted in Figure 11.
+
+Eviction "securely erases" the key material (we overwrite the buffers;
+in-simulation this is what makes an attacker memory snapshot miss it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.errors import KeypadError, NetworkUnavailableError
+from repro.sim import Simulation
+
+__all__ = ["KeyCache", "CacheEntry"]
+
+
+@dataclass
+class CacheEntry:
+    audit_id: bytes
+    remote_key: bytes
+    data_key: bytes
+    texp: float
+    expires_at: float
+    inserted_at: float
+    prefetched: bool = False
+    used_since_refresh: bool = False
+    generation: int = 0
+    fetch_count: int = 1
+    # In-flight (IBE-locked) keys must NOT refresh: their short fuse is
+    # the attack-window bound ("After the cached key times out, the
+    # file is essentially 'locked' on disk").
+    refreshable: bool = True
+
+    def erase(self) -> None:
+        """Secure erase: overwrite key material before dropping."""
+        self.remote_key = b"\x00" * len(self.remote_key)
+        self.data_key = b"\x00" * len(self.data_key)
+
+
+@dataclass
+class _Occupancy:
+    """Time-weighted cache-size accounting for Figure 11."""
+
+    integral: float = 0.0
+    last_change: float = 0.0
+    current: int = 0
+    peak: int = 0
+    samples: list[tuple[float, int]] = field(default_factory=list)
+
+    def update(self, now: float, new_size: int) -> None:
+        self.integral += self.current * (now - self.last_change)
+        self.last_change = now
+        self.current = new_size
+        self.peak = max(self.peak, new_size)
+        self.samples.append((now, new_size))
+
+    def average(self, now: float) -> float:
+        total = self.integral + self.current * (now - self.last_change)
+        return total / now if now > 0 else 0.0
+
+
+class KeyCache:
+    """Expiring cache of (K_R, K_D) pairs keyed by audit ID."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        refresh_fn: Optional[Callable[[bytes], Generator]] = None,
+        refresh_lead: float = 2.0,
+    ):
+        self.sim = sim
+        # refresh_fn(audit_id) -> generator returning the new K_R, or
+        # raising; wired to the device's key-service client.
+        self.refresh_fn = refresh_fn
+        # The purge thread starts an in-use refresh this long before
+        # expiry, so the response normally "arrives before the key
+        # expires" and long accesses (movie playback) never hiccup.
+        self.refresh_lead = refresh_lead
+        self._entries: dict[bytes, CacheEntry] = {}
+        # Monotonic watcher-generation counter: generations are never
+        # reused across entries, so a watcher armed for an evicted
+        # entry can never act on its successor under the same ID.
+        self._generation_seq = 0
+        self.occupancy = _Occupancy()
+        self.hits = 0
+        self.misses = 0
+        self.refreshes = 0
+        self.expirations = 0
+
+    # -- queries ----------------------------------------------------------
+    def get(self, audit_id: bytes, mark_used: bool = True) -> Optional[CacheEntry]:
+        entry = self._entries.get(audit_id)
+        if entry is None or entry.expires_at <= self.sim.now:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if mark_used:
+            entry.used_since_refresh = True
+        return entry
+
+    def peek(self, audit_id: bytes) -> Optional[CacheEntry]:
+        return self._entries.get(audit_id)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _next_generation(self) -> int:
+        self._generation_seq += 1
+        return self._generation_seq
+
+    # -- mutation ------------------------------------------------------------
+    def put(
+        self,
+        audit_id: bytes,
+        remote_key: bytes,
+        data_key: bytes,
+        texp: float,
+        prefetched: bool = False,
+        refreshable: bool = True,
+    ) -> CacheEntry:
+        existing = self._entries.get(audit_id)
+        if existing is not None:
+            existing.generation = self._next_generation()
+            existing.remote_key = remote_key
+            existing.data_key = data_key
+            existing.texp = texp
+            existing.expires_at = self.sim.now + texp
+            existing.used_since_refresh = False
+            existing.fetch_count += 1
+            existing.refreshable = refreshable
+            self._watch(existing)
+            return existing
+        entry = CacheEntry(
+            audit_id=audit_id,
+            remote_key=remote_key,
+            data_key=data_key,
+            texp=texp,
+            expires_at=self.sim.now + texp,
+            inserted_at=self.sim.now,
+            prefetched=prefetched,
+            refreshable=refreshable,
+            generation=self._next_generation(),
+        )
+        self._entries[audit_id] = entry
+        self.occupancy.update(self.sim.now, len(self._entries))
+        self._watch(entry)
+        return entry
+
+    def extend(self, audit_id: bytes, texp: float) -> None:
+        """Reset an entry's lifetime (after unlock / refresh)."""
+        entry = self._entries.get(audit_id)
+        if entry is None:
+            return
+        entry.generation = self._next_generation()
+        entry.texp = texp
+        entry.expires_at = self.sim.now + texp
+        entry.used_since_refresh = False
+        entry.refreshable = True
+        self._watch(entry)
+
+    def restrict(self, audit_id: bytes, max_remaining: float) -> None:
+        """Shorten an entry's remaining life (in-flight metadata window).
+
+        "Because files with metadata updates in flight are vulnerable
+        to attacks, we reduce the key expiration time for such files to
+        the bare minimum."  Never lengthens the entry.
+        """
+        entry = self._entries.get(audit_id)
+        if entry is None:
+            return
+        entry.refreshable = False
+        new_expiry = self.sim.now + max_remaining
+        if new_expiry < entry.expires_at:
+            entry.generation = self._next_generation()
+            entry.expires_at = new_expiry
+            entry.texp = max_remaining
+            self._watch(entry)
+
+    def evict(self, audit_id: bytes) -> None:
+        entry = self._entries.pop(audit_id, None)
+        if entry is not None:
+            entry.generation = self._next_generation()
+            entry.erase()
+            self.occupancy.update(self.sim.now, len(self._entries))
+
+    def evict_all(self) -> int:
+        """Hibernate/shutdown: erase everything; returns count evicted."""
+        count = len(self._entries)
+        for entry in self._entries.values():
+            entry.generation = self._next_generation()
+            entry.erase()
+        self._entries.clear()
+        self.occupancy.update(self.sim.now, 0)
+        return count
+
+    # -- the background purge thread -----------------------------------------
+    def _watch(self, entry: CacheEntry) -> None:
+        self.sim.process(
+            self._watcher(entry.audit_id, entry.generation, entry.expires_at),
+            name=f"keycache-watch-{entry.audit_id.hex()[:8]}",
+        )
+
+    def _watcher(self, audit_id: bytes, generation: int, wake_at: float) -> Generator:
+        # Wake early enough that an in-use refresh completes before the
+        # entry expires ("If a response arrives before the key expires,
+        # the key's expiration time is updated in the cache").
+        entry = self._entries.get(audit_id)
+        lead = min(self.refresh_lead, (entry.texp / 4.0) if entry else 0.0)
+        early = max(0.0, wake_at - lead - self.sim.now)
+        if early > 0:
+            yield self.sim.timeout(early)
+            entry = self._entries.get(audit_id)
+            if entry is None or entry.generation != generation:
+                return  # refreshed/evicted meanwhile; a newer watcher exists
+            if (entry.used_since_refresh and entry.refreshable
+                    and self.refresh_fn is not None):
+                yield from self._refresh(entry)
+                return
+        # Not in use (or unrefreshable): wait out the remaining life.
+        yield self.sim.timeout(max(0.0, wake_at - self.sim.now))
+        entry = self._entries.get(audit_id)
+        if entry is None or entry.generation != generation:
+            return
+        if (entry.used_since_refresh and entry.refreshable
+                and self.refresh_fn is not None):
+            # Used during the final lead window: late refresh (a reader
+            # arriving mid-round-trip may block on a fresh fetch).
+            yield from self._refresh(entry)
+            return
+        self.expirations += 1
+        self.evict(audit_id)
+
+    def _refresh(self, entry: CacheEntry) -> Generator:
+        """Re-fetch an in-use key, re-logging the access on the service."""
+        audit_id = entry.audit_id
+        self.refreshes += 1
+        try:
+            new_remote = yield from self.refresh_fn(audit_id)
+        except (NetworkUnavailableError, KeypadError):
+            self.expirations += 1
+            self.evict(audit_id)
+            return None
+        if self._entries.get(audit_id) is entry:
+            entry.generation = self._next_generation()
+            entry.remote_key = new_remote
+            entry.expires_at = self.sim.now + entry.texp
+            entry.used_since_refresh = False
+            entry.fetch_count += 1
+            self._watch(entry)
+        return None
+
+    # -- attacker / forensics views -----------------------------------------------
+    def snapshot(self) -> dict[bytes, tuple[bytes, bytes]]:
+        """What a memory-extraction attack recovers at this instant."""
+        return {
+            audit_id: (e.remote_key, e.data_key)
+            for audit_id, e in self._entries.items()
+            if e.expires_at > self.sim.now
+        }
+
+    def resident_ids(self) -> set[bytes]:
+        return {a for a, e in self._entries.items() if e.expires_at > self.sim.now}

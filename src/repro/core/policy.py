@@ -1,0 +1,82 @@
+"""Keypad client configuration knobs.
+
+Groups every tunable the evaluation sweeps: key expiration time,
+in-flight (IBE-locked) expiration, prefetch policy, whether IBE is
+enabled (the paper disables it below ~25 ms RTT), and the partial
+coverage domain (§3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.util.paths import is_ancestor, normalize
+
+__all__ = ["KeypadConfig", "coverage_for_prefixes"]
+
+
+def coverage_for_prefixes(prefixes: Sequence[str]) -> Callable[[str], bool]:
+    """A coverage predicate protecting everything under the prefixes.
+
+    The paper's suggested policy: "track accesses to any file in
+    crucial directories, such as the user's home and temporary
+    directory (e.g., /home and /tmp on Linux)".
+    """
+    normalized = [normalize(p) for p in prefixes]
+
+    def predicate(path: str) -> bool:
+        path = normalize(path)
+        return any(
+            root == "/" or root == path or is_ancestor(root, path)
+            for root in normalized
+        )
+
+    return predicate
+
+
+@dataclass(frozen=True)
+class KeypadConfig:
+    """Client-side policy; defaults mirror the prototype's."""
+
+    # Key-cache expiration.  "Experimentally, we find that key
+    # expirations as short as 100 seconds reap most of the performance
+    # benefit of caching."
+    texp: float = 100.0
+    # Expiration for keys of files with in-flight metadata updates:
+    # "our prototype expires cached keys with in-flight metadata
+    # updates in one second."
+    texp_inflight: float = 1.0
+    # Prefetch policy spec ('none' | 'dir:N' | 'random:K').
+    prefetch: str = "dir:3"
+    # IBE for metadata updates.  "The crossover for IBE is around 25ms,
+    # i.e., it should be used only for networks with RTTs over 25ms."
+    ibe_enabled: bool = True
+    # Protected-domain prefixes (partial coverage, §3.6).
+    protected_prefixes: tuple[str, ...] = ("/",)
+    # Background metadata-registration retry cadence.
+    registration_retry_delay: float = 5.0
+    registration_max_retries: int = 1000
+    rekey_interval: float = 100.0
+    # --- extensions beyond the paper's prototype ---
+    # Asynchronous (non-blocking) directory registration; files created
+    # under a not-yet-acked directory stay IBE-locked until the
+    # directory ack lands, preserving audit semantics.  (The paper:
+    # applying IBE to directory metadata "should be possible to add".)
+    ibe_for_directories: bool = False
+    # Register extended-attribute updates with the metadata service
+    # ("Handling updates for other types of file metadata functions
+    # (such as setfattr) works similarly").
+    track_xattrs: bool = False
+
+    def coverage(self) -> Callable[[str], bool]:
+        return coverage_for_prefixes(self.protected_prefixes)
+
+    def with_texp(self, texp: float) -> "KeypadConfig":
+        return replace(self, texp=texp)
+
+    def with_prefetch(self, spec: str) -> "KeypadConfig":
+        return replace(self, prefetch=spec)
+
+    def with_ibe(self, enabled: bool) -> "KeypadConfig":
+        return replace(self, ibe_enabled=enabled)

@@ -1,0 +1,196 @@
+"""The Keypad key service.
+
+Maintains the binding ``audit ID → remote key (K_R)`` and durably logs
+every access before returning a key — the log *is* the audit trail.
+The service sees only opaque 192-bit IDs and keys, never paths (§3.1:
+"The key service sees only accesses to opaque IDs and keys"), which is
+the privacy rationale for splitting it from the metadata service.
+
+Remote control (§2, §6): keys are identified per device, so reporting a
+device missing revokes every key it owns; subsequent fetches fail with
+:class:`RevokedError` and are themselves logged.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.costmodel import DEFAULT_COSTS, CostModel
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import RevokedError, RpcError
+from repro.net.rpc import RpcServer
+from repro.sim import Simulation
+from repro.core.services.logstore import AppendOnlyLog, LogEntry
+
+__all__ = ["KeyService", "AUDIT_ID_LEN", "REMOTE_KEY_LEN"]
+
+AUDIT_ID_LEN = 24  # 192-bit audit IDs ("randomly generated 192-bit integer")
+REMOTE_KEY_LEN = 32
+
+
+class KeyService:
+    """Key escrow + access logging.  Wraps an :class:`RpcServer`."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        costs: CostModel = DEFAULT_COSTS,
+        seed: bytes = b"key-service",
+        name: str = "key-service",
+    ):
+        self.sim = sim
+        self.costs = costs
+        self.server = RpcServer(sim, name, costs)
+        self._drbg = HmacDrbg(seed, b"remote-keys")
+        self._keys: dict[bytes, bytes] = {}
+        self._owner: dict[bytes, str] = {}
+        self._revoked_devices: set[str] = set()
+        self.access_log = AppendOnlyLog(name="key-access")
+
+        self.server.register("key.create", self._handle_create)
+        self.server.register("key.put", self._handle_put)
+        self.server.register("key.fetch", self._handle_fetch)
+        self.server.register("key.fetch_batch", self._handle_fetch_batch)
+        self.server.register("key.evict_notify", self._handle_evict_notify)
+        self.server.register("key.report_batch", self._handle_report_batch)
+
+    # -- administration (out of band, by the victim / IT department) -------
+    def revoke_device(self, device_id: str) -> None:
+        """Remote control: disable every key belonging to a device."""
+        self._revoked_devices.add(device_id)
+        self.access_log.append(
+            self.sim.now, device_id, "revoke", reason="device reported lost"
+        )
+
+    def is_revoked(self, device_id: str) -> bool:
+        return device_id in self._revoked_devices
+
+    def enroll_device(self, device_id: str, secret: bytes) -> None:
+        self.server.enroll_device(device_id, secret)
+
+    # -- handlers -------------------------------------------------------------
+    def _check_revoked(self, device_id: str) -> None:
+        if device_id in self._revoked_devices:
+            self.access_log.append(
+                self.sim.now, device_id, "denied", reason="revoked"
+            )
+            raise RevokedError(f"device {device_id} reported lost or stolen")
+
+    def _handle_create(self, device_id: str, payload: dict) -> Generator:
+        """Create a fresh K_R bound to a new audit ID (blocking create)."""
+        self._check_revoked(device_id)
+        audit_id = payload["audit_id"]
+        if len(audit_id) != AUDIT_ID_LEN:
+            raise RpcError("malformed audit ID")
+        if audit_id in self._keys:
+            raise RpcError("audit ID already bound")
+        key = self._drbg.generate(REMOTE_KEY_LEN)
+        # Durable log BEFORE replying.
+        yield self.sim.timeout(self.costs.service_log_append)
+        self.access_log.append(self.sim.now, device_id, "create", audit_id=audit_id)
+        self._keys[audit_id] = key
+        self._owner[audit_id] = device_id
+        return {"key": key}
+
+    def _handle_put(self, device_id: str, payload: dict) -> Generator:
+        """Bind a client-generated K_R (used by IBE-locked creates).
+
+        Idempotent: re-uploading the same (ID, key) is a no-op, so the
+        client may retry after network failures.
+        """
+        self._check_revoked(device_id)
+        audit_id = payload["audit_id"]
+        key = payload["key"]
+        if len(audit_id) != AUDIT_ID_LEN or len(key) != REMOTE_KEY_LEN:
+            raise RpcError("malformed key upload")
+        existing = self._keys.get(audit_id)
+        if existing is not None and existing != key:
+            raise RpcError("audit ID already bound to a different key")
+        yield self.sim.timeout(self.costs.service_log_append)
+        self.access_log.append(self.sim.now, device_id, "create", audit_id=audit_id)
+        self._keys[audit_id] = key
+        self._owner[audit_id] = device_id
+        return {"ok": True}
+
+    def _fetch_one(self, device_id: str, audit_id: bytes, kind: str) -> bytes:
+        key = self._keys.get(audit_id)
+        if key is None:
+            raise RpcError("unknown audit ID")
+        self.access_log.append(self.sim.now, device_id, kind, audit_id=audit_id)
+        return key
+
+    def _handle_fetch(self, device_id: str, payload: dict) -> Generator:
+        """The audited fetch: log durably, then return K_R."""
+        self._check_revoked(device_id)
+        audit_id = payload["audit_id"]
+        kind = payload.get("kind", "fetch")
+        yield self.sim.timeout(self.costs.service_log_append)
+        yield self.sim.timeout(self.costs.service_key_lookup)
+        key = self._fetch_one(device_id, audit_id, kind)
+        return {"key": key}
+
+    def _handle_fetch_batch(self, device_id: str, payload: dict) -> Generator:
+        """Batched fetch used by directory-key prefetching.
+
+        Every returned key is individually logged (prefetch entries are
+        the audit log's false positives, §5.2).
+        """
+        self._check_revoked(device_id)
+        audit_ids = payload["audit_ids"]
+        kind = payload.get("kind", "prefetch")
+        yield self.sim.timeout(self.costs.service_log_append)
+        keys = []
+        for audit_id in audit_ids:
+            yield self.sim.timeout(self.costs.service_key_lookup)
+            if audit_id in self._keys:
+                keys.append(self._fetch_one(device_id, audit_id, kind))
+            else:
+                keys.append(b"")  # unknown IDs skipped, not fatal
+        return {"keys": keys}
+
+    def _handle_evict_notify(self, device_id: str, payload: dict) -> Generator:
+        """Record key evictions on hibernation (§6: "such evictions
+        should be recorded on the audit servers")."""
+        count = payload.get("count", 0)
+        yield self.sim.timeout(self.costs.service_log_append)
+        self.access_log.append(
+            self.sim.now, device_id, "evict", count=count,
+            reason=payload.get("reason", "hibernate"),
+        )
+        return {"ok": True}
+
+    def _handle_report_batch(self, device_id: str, payload: dict) -> Generator:
+        """Bulk upload of a paired device's locally logged accesses.
+
+        Records keep their phone-side timestamps: the audit trail must
+        reflect when the access *happened*, not when it was uploaded.
+        """
+        records = payload.get("records", [])
+        yield self.sim.timeout(self.costs.service_log_append)
+        for record in records:
+            self.access_log.append(
+                float(record["timestamp"]),
+                device_id,
+                record.get("kind", "paired-fetch"),
+                audit_id=record["audit_id"],
+            )
+        return {"accepted": len(records)}
+
+    # -- forensic / test access (server-side, not RPC) -------------------------
+    def accesses_after(
+        self, t: float, device_id: Optional[str] = None
+    ) -> list[LogEntry]:
+        """All key-disclosing log entries at or after time ``t``."""
+        return [
+            e
+            for e in self.access_log.entries(since=t, device_id=device_id)
+            if e.kind in ("fetch", "refresh", "prefetch", "profile-prefetch",
+                          "paired-fetch", "paired-refresh", "paired-prefetch",
+                          "paired-profile-prefetch", "create")
+        ]
+
+    def known_audit_ids(self) -> set[bytes]:
+        return set(self._keys)
+
+    def key_count(self) -> int:
+        return len(self._keys)

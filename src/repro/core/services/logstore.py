@@ -1,0 +1,111 @@
+"""Append-only, tamper-evident log storage for the audit services.
+
+Both services log durably *before* replying ("Before responding to the
+request, the service durably logs the requested ID and a timestamp"),
+and the metadata store is explicitly append-only so a thief "cannot
+overwrite the user's metadata with bogus information after theft" —
+later records never erase earlier ones.
+
+Entries are hash-chained; :meth:`verify_chain` lets the forensic tool
+prove the log was not truncated or rewritten in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.crypto.sha256 import sha256_fast
+
+__all__ = ["LogEntry", "AppendOnlyLog"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One durable record."""
+
+    sequence: int
+    timestamp: float
+    device_id: str
+    kind: str
+    fields: dict[str, Any]
+    chain_hash: bytes = b""
+
+    def describe(self) -> str:
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.fields.items()))
+        return f"[{self.timestamp:.3f}] {self.device_id} {self.kind}: {detail}"
+
+
+def _entry_digest(prev: bytes, entry: LogEntry) -> bytes:
+    material = repr(
+        (entry.sequence, entry.timestamp, entry.device_id, entry.kind,
+         sorted(entry.fields.items()))
+    ).encode()
+    return sha256_fast(prev + material)
+
+
+@dataclass
+class AppendOnlyLog:
+    """A hash-chained append-only record sequence."""
+
+    name: str = "log"
+    _entries: list[LogEntry] = field(default_factory=list)
+
+    def append(
+        self, timestamp: float, device_id: str, kind: str, **fields: Any
+    ) -> LogEntry:
+        prev = self._entries[-1].chain_hash if self._entries else b"\x00" * 32
+        entry = LogEntry(
+            sequence=len(self._entries),
+            timestamp=timestamp,
+            device_id=device_id,
+            kind=kind,
+            fields=dict(fields),
+        )
+        entry = LogEntry(
+            sequence=entry.sequence,
+            timestamp=entry.timestamp,
+            device_id=entry.device_id,
+            kind=entry.kind,
+            fields=entry.fields,
+            chain_hash=_entry_digest(prev, entry),
+        )
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def entries(
+        self,
+        since: Optional[float] = None,
+        device_id: Optional[str] = None,
+        kind: Optional[str] = None,
+        predicate: Optional[Callable[[LogEntry], bool]] = None,
+    ) -> list[LogEntry]:
+        """Filtered view (forensics-side reads; not an RPC)."""
+        out = []
+        for entry in self._entries:
+            if since is not None and entry.timestamp < since:
+                continue
+            if device_id is not None and entry.device_id != device_id:
+                continue
+            if kind is not None and entry.kind != kind:
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            out.append(entry)
+        return out
+
+    def verify_chain(self) -> bool:
+        """Check the hash chain end to end."""
+        prev = b"\x00" * 32
+        for entry in self._entries:
+            expected = _entry_digest(prev, entry)
+            if expected != entry.chain_hash:
+                return False
+            prev = entry.chain_hash
+        return True

@@ -1,0 +1,27 @@
+"""From-scratch cryptographic substrate.
+
+Reference-grade primitives (SHA-256, HMAC, PBKDF2/HKDF, AES, modes,
+AEAD, HMAC-DRBG) plus the Boneh-Franklin IBE subsystem the Keypad
+metadata protocol depends on.
+"""
+
+from repro.crypto.aead import AesCtrHmacAead, StreamHmacAead
+from repro.crypto.aes import AES
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hmac import constant_time_equal, hmac_sha256
+from repro.crypto.kdf import hkdf_sha256, pbkdf2_sha256
+from repro.crypto.sha256 import SHA256, sha256, sha256_fast
+
+__all__ = [
+    "AES",
+    "AesCtrHmacAead",
+    "StreamHmacAead",
+    "HmacDrbg",
+    "hmac_sha256",
+    "constant_time_equal",
+    "hkdf_sha256",
+    "pbkdf2_sha256",
+    "SHA256",
+    "sha256",
+    "sha256_fast",
+]

@@ -1,0 +1,58 @@
+"""HMAC-DRBG (NIST SP 800-90A) — deterministic randomness for crypto.
+
+All key material in the reproduction (data keys, remote keys, audit
+IDs, IBE ephemerals) is drawn from per-component DRBG instances seeded
+from the experiment seed, which makes every run — including the random
+192-bit audit IDs the paper specifies — exactly replayable.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hmac_sha256
+
+__all__ = ["HmacDrbg"]
+
+
+class HmacDrbg:
+    """HMAC-SHA256 DRBG without prediction-resistance reseeding."""
+
+    def __init__(self, seed: bytes, personalization: bytes = b""):
+        self._k = b"\x00" * 32
+        self._v = b"\x01" * 32
+        self._update(seed + personalization)
+        self._reseed_counter = 1
+
+    def _update(self, provided: bytes = b"") -> None:
+        self._k = hmac_sha256(self._k, self._v + b"\x00" + provided)
+        self._v = hmac_sha256(self._k, self._v)
+        if provided:
+            self._k = hmac_sha256(self._k, self._v + b"\x01" + provided)
+            self._v = hmac_sha256(self._k, self._v)
+
+    def reseed(self, entropy: bytes) -> None:
+        self._update(entropy)
+        self._reseed_counter = 1
+
+    def generate(self, n_bytes: int) -> bytes:
+        if n_bytes < 0:
+            raise ValueError("cannot generate a negative number of bytes")
+        out = b""
+        while len(out) < n_bytes:
+            self._v = hmac_sha256(self._k, self._v)
+            out += self._v
+        self._update()
+        self._reseed_counter += 1
+        return out[:n_bytes]
+
+    def randint_below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        n_bytes = (bound.bit_length() + 7) // 8
+        while True:
+            candidate = int.from_bytes(self.generate(n_bytes + 8), "big")
+            # The extra 64 bits make the modulo bias negligible, but we
+            # still reject to keep the distribution exactly uniform.
+            limit = (1 << ((n_bytes + 8) * 8)) // bound * bound
+            if candidate < limit:
+                return candidate % bound

@@ -1,0 +1,40 @@
+"""HMAC-SHA256 from scratch (RFC 2104 / FIPS 198-1).
+
+Used for message authentication on Keypad's encrypted RPC channel, for
+the encrypt-then-MAC AEAD suites, and as the PRF inside PBKDF2, HKDF,
+and the HMAC-DRBG.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import sha256_fast
+
+__all__ = ["hmac_sha256", "constant_time_equal"]
+
+_BLOCK = 64
+_IPAD = bytes(0x36 for _ in range(_BLOCK))
+_OPAD = bytes(0x5C for _ in range(_BLOCK))
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Compute HMAC-SHA256(key, message)."""
+    if len(key) > _BLOCK:
+        key = sha256_fast(key)
+    key = key.ljust(_BLOCK, b"\x00")
+    inner_key = bytes(k ^ p for k, p in zip(key, _IPAD))
+    outer_key = bytes(k ^ p for k, p in zip(key, _OPAD))
+    return sha256_fast(outer_key + sha256_fast(inner_key + message))
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Compare MACs without early exit.
+
+    (In CPython the timing guarantee is best-effort, but the discipline
+    matters: tag comparisons in this package always go through here.)
+    """
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

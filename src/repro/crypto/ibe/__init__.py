@@ -1,0 +1,23 @@
+"""Boneh-Franklin identity-based encryption with a real Tate pairing."""
+
+from repro.crypto.ibe.boneh_franklin import (
+    IbeCiphertext,
+    IbePrivateKey,
+    IbePublic,
+    PrivateKeyGenerator,
+    decrypt,
+)
+from repro.crypto.ibe.params import SMALL, STANDARD, TOY, BfParams, get_params
+
+__all__ = [
+    "PrivateKeyGenerator",
+    "IbePublic",
+    "IbePrivateKey",
+    "IbeCiphertext",
+    "decrypt",
+    "get_params",
+    "BfParams",
+    "TOY",
+    "SMALL",
+    "STANDARD",
+]

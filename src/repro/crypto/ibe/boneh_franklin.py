@@ -1,0 +1,164 @@
+"""Boneh-Franklin identity-based encryption (BasicIdent, hybrid mode).
+
+The property Keypad leverages (§3.4 of the paper): the *encryptor*
+needs only the public system parameters and an arbitrary identity
+string — here the file's ``directoryID/filename`` path joined with its
+audit ID — while the *decryption key* for that identity can only be
+produced by the Private Key Generator (the metadata service) holding
+the master secret.  A thief therefore cannot unlock an IBE-locked file
+without presenting the correct, up-to-date path to the audit service.
+
+BasicIdent is used as a KEM: the pairing value keys an AEAD that seals
+the actual payload (the file's wrapped data key), giving integrity on
+top of the textbook scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aead import NONCE_LEN, AesCtrHmacAead
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ibe.curve import Point
+from repro.crypto.ibe.fp2 import Fp2
+from repro.crypto.ibe.params import SMALL, BfParams, get_params
+from repro.crypto.sha256 import sha256_fast
+from repro.errors import CryptoError
+
+__all__ = ["IbeCiphertext", "IbePrivateKey", "PrivateKeyGenerator", "IbePublic"]
+
+
+@dataclass(frozen=True)
+class IbePrivateKey:
+    """d_ID = s·Q_ID — extractable only by the PKG."""
+
+    identity: bytes
+    point: Point
+
+
+@dataclass(frozen=True)
+class IbeCiphertext:
+    """(U, sealed): U = rP plus the AEAD-sealed payload."""
+
+    u_x: int  # U's affine coordinates over F_p (b-components are zero)
+    u_y: int
+    sealed: bytes
+
+    def size_bytes(self, params: BfParams) -> int:
+        coord = (params.p.bit_length() + 7) // 8
+        return 2 * coord + len(self.sealed)
+
+
+def _hash_to_point(params: BfParams, identity: bytes) -> Point:
+    """H1: identity → E(F_p)[q], via y-coordinate hashing + cofactor."""
+    counter = 0
+    p, curve = params.p, params.curve
+    while True:
+        digest = b""
+        material = b"H1|" + identity + b"|" + counter.to_bytes(4, "big")
+        while len(digest) * 8 < p.bit_length() + 128:
+            digest += sha256_fast(material + len(digest).to_bytes(4, "big"))
+        y = int.from_bytes(digest, "big") % p
+        candidate = curve.multiply(curve.point_from_y(y), params.cofactor)
+        if not candidate.infinity:
+            return candidate
+        counter += 1  # probability ~1/q
+
+
+def _kdf_from_gt(value: Fp2, salt: bytes) -> bytes:
+    """H2: pairing value → 32-byte AEAD key."""
+    return sha256_fast(b"H2|" + salt + b"|" + value.to_bytes())
+
+
+class IbePublic:
+    """The public side: system params + PKG public key; can encrypt.
+
+    Caches both H1 hash-to-point results and the per-identity pairing
+    g_ID = ê(Q_ID, P_pub); Keypad re-encrypts to the same identities
+    (paths) frequently, so the cache turns most encryptions into one
+    scalar multiplication plus one F_p² exponentiation.
+    """
+
+    def __init__(self, params: BfParams, public_point: Point, seed: bytes = b"ibe-enc"):
+        self.params = params
+        self.public_point = public_point
+        self._drbg = HmacDrbg(seed, b"ibe-ephemeral")
+        self._gid_cache: dict[bytes, Fp2] = {}
+        self._qid_cache: dict[bytes, Point] = {}
+
+    def identity_point(self, identity: bytes) -> Point:
+        point = self._qid_cache.get(identity)
+        if point is None:
+            point = _hash_to_point(self.params, identity)
+            self._qid_cache[identity] = point
+        return point
+
+    def _g_id(self, identity: bytes) -> Fp2:
+        g = self._gid_cache.get(identity)
+        if g is None:
+            from repro.crypto.ibe.pairing import modified_pairing
+
+            q_id = self.identity_point(identity)
+            g = modified_pairing(self.params.curve, q_id, self.public_point, self.params.q)
+            if g.is_zero() or g.is_one():
+                raise CryptoError("degenerate pairing for identity")
+            self._gid_cache[identity] = g
+        return g
+
+    def encrypt(self, identity: bytes, plaintext: bytes) -> IbeCiphertext:
+        params = self.params
+        r = 1 + self._drbg.randint_below(params.q - 1)
+        u = params.curve.multiply(params.generator, r)
+        shared = self._g_id(identity).pow(r)
+        key = _kdf_from_gt(shared, identity)
+        nonce = sha256_fast(b"ibe-nonce|" + u.x.to_bytes() + u.y.to_bytes())[:NONCE_LEN]
+        sealed = AesCtrHmacAead(key).seal(nonce, plaintext, aad=identity)
+        return IbeCiphertext(u_x=u.x.a, u_y=u.y.a, sealed=sealed)
+
+
+def decrypt(
+    params: BfParams, private_key: IbePrivateKey, ciphertext: IbeCiphertext
+) -> bytes:
+    """Unseal with d_ID; raises IntegrityError/CryptoError on mismatch."""
+    from repro.crypto.ibe.pairing import modified_pairing
+
+    p = params.p
+    u = Point(Fp2.from_int(ciphertext.u_x, p), Fp2.from_int(ciphertext.u_y, p))
+    if not params.curve.contains(u):
+        raise CryptoError("ciphertext point not on curve")
+    shared = modified_pairing(params.curve, private_key.point, u, params.q)
+    key = _kdf_from_gt(shared, private_key.identity)
+    nonce = sha256_fast(b"ibe-nonce|" + u.x.to_bytes() + u.y.to_bytes())[:NONCE_LEN]
+    return AesCtrHmacAead(key).open(nonce, ciphertext.sealed, aad=private_key.identity)
+
+
+class PrivateKeyGenerator:
+    """The PKG: holds the master secret, extracts identity keys.
+
+    In Keypad the *metadata service* runs the PKG; Extract happens only
+    after the service has durably logged the identity string (the file
+    path + audit ID), which is exactly what forces a thief to reveal
+    correct metadata.
+    """
+
+    def __init__(self, params_name: str = SMALL, master_seed: bytes = b"pkg-master"):
+        self.params = get_params(params_name)
+        drbg = HmacDrbg(master_seed, b"ibe-master-secret")
+        self._master = 1 + drbg.randint_below(self.params.q - 1)
+        self.public_point = self.params.curve.multiply(
+            self.params.generator, self._master
+        )
+        self._qid_cache: dict[bytes, Point] = {}
+
+    def public(self, seed: bytes = b"ibe-enc") -> IbePublic:
+        return IbePublic(self.params, self.public_point, seed=seed)
+
+    def extract(self, identity: bytes) -> IbePrivateKey:
+        q_id = self._qid_cache.get(identity)
+        if q_id is None:
+            q_id = _hash_to_point(self.params, identity)
+            self._qid_cache[identity] = q_id
+        return IbePrivateKey(
+            identity=identity,
+            point=self.params.curve.multiply(q_id, self._master),
+        )

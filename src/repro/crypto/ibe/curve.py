@@ -1,0 +1,132 @@
+"""The supersingular curve E: y² = x³ + 1 over F_p (p ≡ 2 mod 3).
+
+For such p the curve is supersingular with #E(F_p) = p + 1, and the map
+x ↦ x³ is a bijection on F_p, giving a clean hash-to-point: pick y from
+the hash, solve x = (y² − 1)^{1/3}, then clear the cofactor.
+
+Points carry F_p² coordinates throughout so the same arithmetic serves
+both E(F_p) (b-components zero) and the distorted points in E(F_p²)
+used by the Tate pairing.  The distortion map is φ(x, y) = (ζ·x, y)
+with ζ a primitive cube root of unity in F_p² \\ F_p.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.ibe.fp2 import Fp2
+from repro.crypto.numbers import cbrt_mod, sqrt_mod
+
+__all__ = ["Point", "CurveGroup"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """Affine point on E(F_p²), or the point at infinity (x = y = None)."""
+
+    x: Optional[Fp2]
+    y: Optional[Fp2]
+
+    @property
+    def infinity(self) -> bool:
+        return self.x is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.infinity:
+            return "Point(∞)"
+        return f"Point({self.x!r}, {self.y!r})"
+
+
+_INFINITY = Point(None, None)
+
+
+class CurveGroup:
+    """Group law, scalar multiplication, hashing, and the distortion map."""
+
+    def __init__(self, p: int):
+        if p % 3 != 2 or p % 4 != 3:
+            raise ValueError("supersingular construction requires p ≡ 11 (mod 12)")
+        self.p = p
+        # ζ = (−1 + √−3)/2 in F_p²: since p ≡ 2 (mod 3), −3 is a
+        # non-residue mod p, and √−3 = √3 · i with i² = −1 when 3 is a
+        # residue... rather than case-split we solve ζ² + ζ + 1 = 0
+        # directly: ζ = (−1 + s)/2 where s² = −3 in F_p².
+        self.zeta = self._cube_root_of_unity()
+        self.infinity = _INFINITY
+
+    def _cube_root_of_unity(self) -> Fp2:
+        p = self.p
+        # s² = −3.  If −3 is a QR mod p it would put ζ in F_p,
+        # contradicting p ≡ 2 (mod 3); so −3 is a non-residue and
+        # s = i·√3 if 3 is a QR, else s = √(−3) has no F_p rep and we
+        # use s = t·i with t² = 3 ... both cases reduce to: find u with
+        # u² = 3 (mod p) if it exists, then s = u·i; otherwise −3 ≡ i²·3
+        # fails and we find v with v² = −3·(−1) = 3 — identical.  Hence:
+        u = sqrt_mod(3 % p, p)  # 3 is a QR mod p when p ≡ 11 (mod 12)
+        inv2 = (p + 1) // 2  # 1/2 mod p
+        zeta = Fp2(-1, u, p).scale(inv2)
+        assert (zeta * zeta + zeta + Fp2.one(p)).is_zero(), "bad cube root of unity"
+        return zeta
+
+    # -- membership ------------------------------------------------------------
+    def contains(self, pt: Point) -> bool:
+        if pt.infinity:
+            return True
+        lhs = pt.y.square()
+        rhs = pt.x.square() * pt.x + Fp2.one(self.p)
+        return lhs == rhs
+
+    # -- group law ----------------------------------------------------------------
+    def add(self, p1: Point, p2: Point) -> Point:
+        if p1.infinity:
+            return p2
+        if p2.infinity:
+            return p1
+        if p1.x == p2.x:
+            if p1.y == p2.y:
+                return self.double(p1)
+            return _INFINITY  # P + (−P)
+        slope = (p2.y - p1.y) / (p2.x - p1.x)
+        x3 = slope.square() - p1.x - p2.x
+        y3 = slope * (p1.x - x3) - p1.y
+        return Point(x3, y3)
+
+    def double(self, pt: Point) -> Point:
+        if pt.infinity or pt.y.is_zero():
+            return _INFINITY
+        # slope = 3x² / 2y  (a = 0 for y² = x³ + 1)
+        slope = pt.x.square().scale(3) / pt.y.scale(2)
+        x3 = slope.square() - pt.x - pt.x
+        y3 = slope * (pt.x - x3) - pt.y
+        return Point(x3, y3)
+
+    def negate(self, pt: Point) -> Point:
+        if pt.infinity:
+            return pt
+        return Point(pt.x, -pt.y)
+
+    def multiply(self, pt: Point, scalar: int) -> Point:
+        if scalar < 0:
+            return self.multiply(self.negate(pt), -scalar)
+        result = _INFINITY
+        addend = pt
+        while scalar:
+            if scalar & 1:
+                result = self.add(result, addend)
+            addend = self.double(addend)
+            scalar >>= 1
+        return result
+
+    # -- maps ---------------------------------------------------------------------
+    def distort(self, pt: Point) -> Point:
+        """φ(x, y) = (ζx, y): maps E(F_p) into E(F_p²) \\ E(F_p)."""
+        if pt.infinity:
+            return pt
+        return Point(pt.x * self.zeta, pt.y)
+
+    def point_from_y(self, y_int: int) -> Point:
+        """The unique curve point over F_p with the given y-coordinate."""
+        p = self.p
+        x_int = cbrt_mod((y_int * y_int - 1) % p, p)
+        return Point(Fp2.from_int(x_int, p), Fp2.from_int(y_int % p, p))

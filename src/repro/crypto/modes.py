@@ -1,0 +1,80 @@
+"""Block-cipher modes of operation: CTR and CBC with PKCS#7 padding.
+
+Validated against NIST SP 800-38A known-answer vectors.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.aes import AES
+
+__all__ = ["ctr_transform", "cbc_encrypt", "cbc_decrypt", "pkcs7_pad", "pkcs7_unpad"]
+
+
+def ctr_transform(cipher: AES, nonce: bytes, data: bytes, initial_counter: int = 0) -> bytes:
+    """Encrypt/decrypt ``data`` in CTR mode (the operation is symmetric).
+
+    The 16-byte counter block is ``nonce[:8] || 64-bit big-endian
+    counter``, so a single (key, nonce) pair must never be reused —
+    callers derive fresh nonces per object/block via HKDF.
+    """
+    if len(nonce) < 8:
+        raise ValueError("CTR nonce must be at least 8 bytes")
+    prefix = nonce[:8]
+    out = bytearray(len(data))
+    counter = initial_counter
+    for offset in range(0, len(data), 16):
+        keystream = cipher.encrypt_block(prefix + struct.pack(">Q", counter))
+        chunk = data[offset:offset + 16]
+        out[offset:offset + len(chunk)] = bytes(
+            a ^ b for a, b in zip(chunk, keystream)
+        )
+        counter += 1
+    return bytes(out)
+
+
+def pkcs7_pad(data: bytes, block_size: int = 16) -> bytes:
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len] * pad_len)
+
+
+def pkcs7_unpad(data: bytes, block_size: int = 16) -> bytes:
+    if not data or len(data) % block_size:
+        raise ValueError("invalid padded length")
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > block_size:
+        raise ValueError("invalid PKCS#7 padding")
+    if data[-pad_len:] != bytes([pad_len] * pad_len):
+        raise ValueError("invalid PKCS#7 padding")
+    return data[:-pad_len]
+
+
+def cbc_encrypt(cipher: AES, iv: bytes, plaintext: bytes, pad: bool = True) -> bytes:
+    if len(iv) != 16:
+        raise ValueError("CBC IV must be 16 bytes")
+    data = pkcs7_pad(plaintext) if pad else plaintext
+    if len(data) % 16:
+        raise ValueError("unpadded CBC input must be a multiple of 16 bytes")
+    out = bytearray()
+    prev = iv
+    for offset in range(0, len(data), 16):
+        block = bytes(a ^ b for a, b in zip(data[offset:offset + 16], prev))
+        prev = cipher.encrypt_block(block)
+        out += prev
+    return bytes(out)
+
+
+def cbc_decrypt(cipher: AES, iv: bytes, ciphertext: bytes, pad: bool = True) -> bytes:
+    if len(iv) != 16:
+        raise ValueError("CBC IV must be 16 bytes")
+    if len(ciphertext) % 16:
+        raise ValueError("CBC ciphertext must be a multiple of 16 bytes")
+    out = bytearray()
+    prev = iv
+    for offset in range(0, len(ciphertext), 16):
+        block = ciphertext[offset:offset + 16]
+        plain = cipher.decrypt_block(block)
+        out += bytes(a ^ b for a, b in zip(plain, prev))
+        prev = block
+    return pkcs7_unpad(bytes(out)) if pad else bytes(out)

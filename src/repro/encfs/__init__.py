@@ -1,0 +1,6 @@
+"""EncFS-style encrypted stacked file system (the paper's baseline)."""
+
+from repro.encfs.fs import EncfsFS, StackedCryptFs
+from repro.encfs.volume import Volume
+
+__all__ = ["EncfsFS", "StackedCryptFs", "Volume"]

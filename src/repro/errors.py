@@ -1,0 +1,105 @@
+"""Exception hierarchy shared across the reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FileSystemError",
+    "FileNotFound",
+    "FileExists",
+    "NotADirectory",
+    "IsADirectory",
+    "DirectoryNotEmpty",
+    "InvalidArgument",
+    "DiskError",
+    "IntegrityError",
+    "CryptoError",
+    "KeypadError",
+    "NetworkUnavailableError",
+    "RpcError",
+    "ServiceUnavailableError",
+    "RevokedError",
+    "AuthorizationError",
+    "LockedFileError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# --- file-system errors (mirror POSIX errno semantics) -------------------
+
+
+class FileSystemError(ReproError):
+    """Base class for file-system level failures."""
+
+
+class FileNotFound(FileSystemError):
+    """ENOENT: path component or file does not exist."""
+
+
+class FileExists(FileSystemError):
+    """EEXIST: exclusive create of an existing name."""
+
+
+class NotADirectory(FileSystemError):
+    """ENOTDIR: a non-directory appeared where a directory was needed."""
+
+
+class IsADirectory(FileSystemError):
+    """EISDIR: file operation attempted on a directory."""
+
+
+class DirectoryNotEmpty(FileSystemError):
+    """ENOTEMPTY: rmdir of a non-empty directory."""
+
+
+class InvalidArgument(FileSystemError):
+    """EINVAL: malformed path, offset, or flag combination."""
+
+
+class DiskError(FileSystemError):
+    """EIO: the simulated block device failed the request."""
+
+
+# --- crypto ----------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class IntegrityError(CryptoError):
+    """Authentication tag / MAC verification failed."""
+
+
+# --- Keypad / services -------------------------------------------------------
+
+
+class KeypadError(ReproError):
+    """Base class for Keypad protocol failures."""
+
+
+class NetworkUnavailableError(KeypadError):
+    """The link to the audit services (or paired device) is down."""
+
+
+class RpcError(KeypadError):
+    """Remote call failed (malformed request, server fault)."""
+
+
+class ServiceUnavailableError(KeypadError):
+    """The remote service refused or could not serve the request."""
+
+
+class RevokedError(KeypadError):
+    """The device's keys were disabled via Keypad remote control."""
+
+
+class AuthorizationError(KeypadError):
+    """Device/service authentication failed."""
+
+
+class LockedFileError(KeypadError):
+    """File is IBE-locked pending metadata registration confirmation."""

@@ -1,0 +1,12 @@
+"""Post-loss forensics: audit reports and fidelity analysis."""
+
+from repro.forensics.analyzer import FidelityAnalysis, analyze_fidelity
+from repro.forensics.audit import AuditRecord, AuditReport, AuditTool
+
+__all__ = [
+    "AuditTool",
+    "AuditReport",
+    "AuditRecord",
+    "FidelityAnalysis",
+    "analyze_fidelity",
+]

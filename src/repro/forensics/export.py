@@ -1,0 +1,145 @@
+"""Audit-log export/import for offline forensics.
+
+The paper's forensic tool is a standalone Python program run by the
+victim (or their drive manufacturer's web service) over the services'
+logs.  This module serializes both services' append-only logs to a
+JSON bundle and reloads them into lightweight read-only replicas that
+:class:`~repro.forensics.audit.AuditTool` can query — so reports can be
+produced long after (and far away from) the simulation that generated
+the logs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.services.keyservice import KeyService
+from repro.core.services.logstore import AppendOnlyLog
+from repro.core.services.metadataservice import (
+    ROOT_DIR_ID,
+    MetadataService,
+)
+
+__all__ = ["export_logs", "load_bundle", "OfflineKeyLog", "OfflineMetadata"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_fields(fields: dict[str, Any]) -> dict[str, Any]:
+    out = {}
+    for key, value in fields.items():
+        if isinstance(value, bytes):
+            out[key] = {"__bytes__": value.hex()}
+        else:
+            out[key] = value
+    return out
+
+
+def _decode_fields(fields: dict[str, Any]) -> dict[str, Any]:
+    out = {}
+    for key, value in fields.items():
+        if isinstance(value, dict) and "__bytes__" in value:
+            out[key] = bytes.fromhex(value["__bytes__"])
+        else:
+            out[key] = value
+    return out
+
+
+def _export_log(log: AppendOnlyLog) -> list[dict]:
+    return [
+        {
+            "timestamp": entry.timestamp,
+            "device_id": entry.device_id,
+            "kind": entry.kind,
+            "fields": _encode_fields(entry.fields),
+        }
+        for entry in log
+    ]
+
+
+def _import_log(records: list[dict], name: str) -> AppendOnlyLog:
+    log = AppendOnlyLog(name=name)
+    for record in records:
+        log.append(
+            record["timestamp"],
+            record["device_id"],
+            record["kind"],
+            **_decode_fields(record["fields"]),
+        )
+    return log
+
+
+def export_logs(
+    key_service: KeyService, metadata_service: MetadataService
+) -> str:
+    """Serialize both services' logs to a JSON bundle string."""
+    bundle = {
+        "format": _FORMAT_VERSION,
+        "key_access_log": _export_log(key_service.access_log),
+        "metadata_log": _export_log(metadata_service.metadata_log),
+    }
+    return json.dumps(bundle, indent=1)
+
+
+class OfflineKeyLog:
+    """Read-only replica of the key service's audit state."""
+
+    _DISCLOSING = ("fetch", "refresh", "prefetch", "paired-fetch",
+                   "paired-refresh", "paired-prefetch", "create")
+
+    def __init__(self, log: AppendOnlyLog):
+        self.access_log = log
+
+    def accesses_after(self, t: float, device_id: str | None = None):
+        return [
+            e
+            for e in self.access_log.entries(since=t, device_id=device_id)
+            if e.kind in self._DISCLOSING
+        ]
+
+
+class OfflineMetadata:
+    """Read-only replica of the metadata service's latest-path view."""
+
+    def __init__(self, log: AppendOnlyLog):
+        self.metadata_log = log
+        self._files: dict[bytes, tuple[str, str]] = {}
+        self._dirs: dict[str, tuple[str, str]] = {ROOT_DIR_ID: ("", "/")}
+        for entry in log:
+            if entry.kind == "file":
+                self._files[entry.fields["audit_id"]] = (
+                    entry.fields["dir_id"], entry.fields["name"]
+                )
+            elif entry.kind == "dir":
+                self._dirs[entry.fields["dir_id"]] = (
+                    entry.fields["parent_id"], entry.fields["name"]
+                )
+
+    def path_of(self, audit_id: bytes) -> str | None:
+        record = self._files.get(audit_id)
+        if record is None:
+            return None
+        dir_id, leaf = record
+        parts = [leaf]
+        seen = set()
+        while dir_id and dir_id != ROOT_DIR_ID:
+            if dir_id in seen:
+                return "<cycle>/" + "/".join(parts)
+            seen.add(dir_id)
+            entry = self._dirs.get(dir_id)
+            if entry is None:
+                return "<unknown>/" + "/".join(parts)
+            dir_id, name = entry[0], entry[1]
+            parts.insert(0, name)
+        return "/" + "/".join(parts)
+
+
+def load_bundle(text: str) -> tuple[OfflineKeyLog, OfflineMetadata]:
+    """Parse a bundle back into AuditTool-compatible replicas."""
+    bundle = json.loads(text)
+    if bundle.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported bundle format {bundle.get('format')!r}")
+    key_log = _import_log(bundle["key_access_log"], "key-access")
+    metadata_log = _import_log(bundle["metadata_log"], "metadata")
+    return OfflineKeyLog(key_log), OfflineMetadata(metadata_log)

@@ -1,0 +1,106 @@
+"""Minimal ASCII line charts for the sweep figures.
+
+EXPERIMENTS.md tables carry the exact numbers; these charts make the
+*shapes* — knees, crossovers, blow-ups — visible at a glance in plain
+text, which is how the paper's log-scale figures read.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["plot_series"]
+
+_SYMBOLS = "*o+x#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        return math.log10(max(value, 1e-12))
+    return value
+
+
+def plot_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 14,
+    logx: bool = False,
+    logy: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """Render named (x, y) series onto a character grid with a legend."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [_transform(x, logx) for x, _ in points]
+    ys = [_transform(y, logy) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, symbol: str) -> None:
+        col = round((_transform(x, logx) - x_lo) / x_span * (width - 1))
+        row = round((_transform(y, logy) - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = symbol
+
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        symbol = _SYMBOLS[i % len(_SYMBOLS)]
+        legend.append(f"{symbol} = {name}")
+        ordered = sorted(pts)
+        # Draw connecting steps between consecutive points so sparse
+        # series still read as lines.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(
+                2,
+                int(abs(
+                    (_transform(x1, logx) - _transform(x0, logx))
+                    / x_span * (width - 1)
+                )) + 1,
+            )
+            for s in range(steps + 1):
+                t = s / steps
+                # Interpolate in transformed space for straight lines
+                # on the rendered (possibly log) axes.
+                xi = _transform(x0, logx) + t * (
+                    _transform(x1, logx) - _transform(x0, logx)
+                )
+                yi = _transform(y0, logy) + t * (
+                    _transform(y1, logy) - _transform(y0, logy)
+                )
+                col = round((xi - x_lo) / x_span * (width - 1))
+                row = round((yi - y_lo) / y_span * (height - 1))
+                if grid[height - 1 - row][col] == " ":
+                    grid[height - 1 - row][col] = "."
+        for x, y in ordered:
+            place(x, y, symbol)
+
+    y_top = f"{(10 ** y_hi if logy else y_hi):.4g}"
+    y_bottom = f"{(10 ** y_lo if logy else y_lo):.4g}"
+    margin = max(len(y_top), len(y_bottom), len(y_label)) + 1
+    lines = []
+    if title:
+        lines.append(" " * margin + title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_top.rjust(margin)
+        elif i == height - 1:
+            prefix = y_bottom.rjust(margin)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    x_left = f"{(10 ** x_lo if logx else x_lo):.4g}"
+    x_right = f"{(10 ** x_hi if logx else x_hi):.4g}"
+    lines.append(" " * margin + "+" + "-" * width)
+    axis = x_left + x_label.center(width - len(x_left) - len(x_right)) + x_right
+    lines.append(" " * (margin + 1) + axis)
+    lines.append(" " * (margin + 1) + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Insert ASCII charts into a generated EXPERIMENTS.md.
+
+Parses the rendered ResultTable blocks for the sweep figures (7, 8a,
+8b, 10) and appends a log-x line chart under each, so the document
+shows the *shapes* the paper plots — knees, crossovers, blow-ups —
+without leaving plain text.
+
+Usage:
+    python -m repro.harness.chartify EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+from repro.harness.asciiplot import plot_series
+
+__all__ = ["parse_table_block", "chartify_text"]
+
+
+def parse_table_block(block: str) -> tuple[list[str], list[list[str]]]:
+    """Parse a ResultTable.render() block into (columns, rows)."""
+    lines = [l for l in block.splitlines() if l.strip()]
+    # Find the header: the line just before the ----+---- separator.
+    sep_idx = next(
+        i for i, l in enumerate(lines) if set(l.strip()) <= {"-", "+"}
+    )
+    columns = [c.strip() for c in lines[sep_idx - 1].split("|")]
+    rows = []
+    for line in lines[sep_idx + 1:]:
+        if line.strip().startswith("note:"):
+            break
+        rows.append([c.strip() for c in line.split("|")])
+    return columns, rows
+
+
+def _series_from(columns, rows, x_col, y_cols):
+    xi = columns.index(x_col)
+    series = {}
+    for y_col in y_cols:
+        yi = columns.index(y_col)
+        pts = []
+        for row in rows:
+            try:
+                pts.append((float(row[xi]), float(row[yi])))
+            except (ValueError, IndexError):
+                continue
+        if pts:
+            series[y_col] = pts
+    return series
+
+
+_CHART_SPECS = [
+    # (section header regex, x column, y columns, y label, logy)
+    (r"## Figure 7: key expiration sweep",
+     "texp_s", None, "seconds", False),          # special-cased below
+    (r"## Figure 8\(a\): IBE vs RTT",
+     "rtt_ms", ["keypad_no_ibe_s", "keypad_ibe_s", "encfs_s"], "s", False),
+    (r"## Figure 8\(b\): paired device vs RTT",
+     "rtt_ms", ["keypad_no_phone_s", "keypad_with_phone_s", "encfs_s"],
+     "s", False),
+    (r"## Figure 10: comparison to other file systems",
+     "rtt_ms", ["keypad_s", "nfs_s", "encfs_s"], "s", True),
+]
+
+
+def _fig7_series(columns, rows):
+    """Figure 7 plots one curve per network."""
+    ni = columns.index("network")
+    xi = columns.index("texp_s")
+    yi = columns.index("compile_s")
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        series.setdefault(row[ni], []).append(
+            (float(row[xi]), float(row[yi]))
+        )
+    return series
+
+
+def chartify_text(text: str) -> str:
+    for header_re, x_col, y_cols, y_label, logy in _CHART_SPECS:
+        pattern = re.compile(
+            "(" + header_re + r".*?```text\n)(.*?)(\n```)", re.S
+        )
+        match = pattern.search(text)
+        if match is None:
+            continue
+        block = match.group(2)
+        if "chart:" in block:
+            continue  # already chartified
+        columns, rows = parse_table_block(block)
+        if x_col == "texp_s":
+            series = _fig7_series(columns, rows)
+        else:
+            series = _series_from(columns, rows, x_col, y_cols)
+        if not series:
+            continue
+        chart = plot_series(
+            series, width=56, height=12, logx=True, logy=logy,
+            x_label=x_col, y_label=y_label, title="chart: (log x)",
+        )
+        replacement = match.group(1) + block + "\n\n" + chart + match.group(3)
+        text = text[: match.start()] + replacement + text[match.end():]
+    return text
+
+
+def main(path: str) -> None:
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chartify_text(text))
+    print(f"chartified {path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md")

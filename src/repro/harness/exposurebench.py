@@ -1,0 +1,226 @@
+"""Auditability experiments: Figure 11, §5.2 false positives, bandwidth.
+
+* Figure 11 — average number of keys resident in device memory during
+  use periods, as a function of key expiration time and prefetch
+  policy, over a multi-day synthetic usage trace.
+* §5.2 — false-positive ratios for the thief scenarios.
+* §5 (setup) — Keypad's network bandwidth over the trace (paper:
+  average under 5 kb/s, spikes up to 45 kb/s).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attack import run_scenario
+from repro.core import KeypadConfig
+from repro.forensics import AuditTool, analyze_fidelity
+from repro.harness.experiment import build_keypad_rig
+from repro.harness.results import ResultTable
+from repro.net import THREE_G, NetEnv
+from repro.workloads import (
+    UsageTraceWorkload,
+    average_over_windows,
+    prepare_office_environment,
+)
+
+__all__ = [
+    "fig11_key_exposure",
+    "sec52_false_positives",
+    "bandwidth_estimate",
+    "run_trace",
+    "sec514_deployment_experience",
+]
+
+
+def run_trace(
+    texp: float,
+    prefetch: str,
+    days: float = 12.0,
+    network: NetEnv = THREE_G,
+    seed: int = 3,
+):
+    """Run the usage trace; returns (rig, workload)."""
+    config = KeypadConfig(texp=texp, prefetch=prefetch, ibe_enabled=True)
+    rig = build_keypad_rig(network=network, config=config)
+    workload = UsageTraceWorkload(days=days, seed=seed)
+    rig.run(workload.prepare(rig.fs))
+    rig.run(workload.run(rig.fs, rig.sim))
+    return rig, workload
+
+
+def fig11_key_exposure(
+    texps: tuple[float, ...] = (1.0, 10.0, 100.0, 1000.0),
+    policies: tuple[str, ...] = ("none", "dir:3", "dir:1"),
+    days: float = 12.0,
+    network: NetEnv = THREE_G,
+) -> ResultTable:
+    """Average in-memory key-set size during use periods."""
+    table = ResultTable(
+        "Figure 11: avg keys in memory during use periods",
+        ["prefetch", "texp_s", "avg_keys_in_memory", "peak_keys"],
+    )
+    for policy in policies:
+        for texp in texps:
+            rig, workload = run_trace(texp, policy, days=days, network=network)
+            avg = average_over_windows(
+                rig.fs.key_cache.occupancy.samples, workload.sessions
+            )
+            table.add(policy, texp, avg, rig.fs.key_cache.occupancy.peak)
+    table.note("paper: ~38 keys at Texp=100s with prefetch-on-3rd-miss; "
+               "small for reasonable expiration/prefetch settings")
+    return table
+
+
+def sec52_false_positives(
+    scenarios: tuple[str, ...] = (
+        "thunderbird", "document-editor", "firefox-profile", "firefox-cache",
+    ),
+    network: NetEnv = THREE_G,
+) -> ResultTable:
+    """Thief-scenario FP ratios under the default prefetch policy."""
+    table = ResultTable(
+        "§5.2: audit false positives per thief scenario (FP : reported)",
+        ["scenario", "false_positives", "reported_total", "truly_accessed",
+         "false_negatives", "precision"],
+    )
+    for scenario in scenarios:
+        config = KeypadConfig(texp=100.0, prefetch="dir:3", ibe_enabled=False)
+        rig = build_keypad_rig(network=network, config=config)
+        rig.run(prepare_office_environment(rig.fs))
+
+        def cool():
+            yield rig.sim.timeout(600.0)
+
+        rig.run(cool())
+        rig.fs.key_cache.evict_all()
+        rig.fs.prefetch_policy.reset()
+        t_loss = rig.sim.now
+        result = rig.run(run_scenario(rig.fs, scenario))
+        tool = AuditTool(rig.key_service, rig.metadata_service)
+        report = tool.report(t_loss=t_loss, texp=config.texp)
+        analysis = analyze_fidelity(report, result.accessed_ids)
+        fp, total = result.fp_ratio(report.compromised_ids)
+        table.add(scenario, fp, total, len(result.accessed_ids),
+                  len(analysis.false_negatives), analysis.precision)
+    table.note("paper ratios: thunderbird 3:30, document editor 6:67, "
+               "firefox 0:12; firefox-cache is the 'bad case' with FPs "
+               "localized to one directory")
+    return table
+
+
+def sec514_deployment_experience(
+    days: float = 12.0,
+    network: NetEnv = THREE_G,
+    seed: int = 3,
+) -> ResultTable:
+    """§5.1.4: the co-author's 12-day deployment, quantified.
+
+    "one co-author used Keypad continuously to protect his laptop's
+    $HOME and /tmp directories over a 12-day period, with an emulated
+    300ms client-to-server latency. ... Some activities, such as file
+    system intensive CVS checkouts or recursive copies, were slower but
+    usable.  Other more typical activities, such as browsing the Web,
+    editing documents, and exchanging email, had no noticeable
+    performance degradation."
+
+    We run the same trace on Keypad and on plain EncFS and report the
+    mean latency per activity type — "no noticeable degradation" should
+    show up as near-1x ratios for web/mail/edit, with only the scanning
+    activity paying a visible premium.
+    """
+    from repro.harness.experiment import build_encfs_rig
+    from repro.workloads import UsageTraceWorkload
+
+    def per_activity_times(fs_rig, workload):
+        times: dict[str, list[float]] = {}
+        original = workload._pick_activity
+        sim = fs_rig.sim
+
+        def run_instrumented(fs):
+            # Wrap each activity call with timing.
+            def instrumented():
+                name = original()
+                return name
+
+            workload._pick_activity = instrumented
+            # Monkey-patch each activity to record its duration.
+            for attr_name, _w in workload._ACTIVITY_WEIGHTS:
+                real = getattr(workload, attr_name)
+
+                def timed(fs_inner, _real=real, _name=attr_name):
+                    t0 = sim.now
+                    yield from _real(fs_inner)
+                    times.setdefault(_name, []).append(sim.now - t0)
+
+                setattr(workload, attr_name, timed)
+            return workload.run(fs, sim)
+
+        fs_rig.run(workload.prepare(fs_rig.fs))
+        fs_rig.run(run_instrumented(fs_rig.fs))
+        return {k: sum(v) / len(v) for k, v in times.items() if v}
+
+    config = KeypadConfig(texp=100.0, prefetch="dir:3", ibe_enabled=True)
+    keypad_rig = build_keypad_rig(network=network, config=config)
+    keypad_times = per_activity_times(
+        keypad_rig, UsageTraceWorkload(days=days, seed=seed)
+    )
+    encfs_rig = build_encfs_rig()
+    encfs_times = per_activity_times(
+        encfs_rig, UsageTraceWorkload(days=days, seed=seed)
+    )
+
+    labels = {
+        "_edit_document": "editing documents",
+        "_read_mail": "exchanging email",
+        "_browse_web": "browsing the Web",
+        "_scan_directory": "recursive scan (CVS-like)",
+        "_save_new_document": "saving new documents",
+    }
+    table = ResultTable(
+        "§5.1.4: 12-day deployment — mean activity latency (s)",
+        ["activity", "encfs_s", "keypad_3g_s", "added_latency_s",
+         "noticeable"],
+    )
+    # Perceptibility threshold: users notice added latency around the
+    # one-second mark for a whole interactive activity.
+    for key, label in labels.items():
+        if key in keypad_times and key in encfs_times:
+            delta = keypad_times[key] - encfs_times[key]
+            table.add(label, encfs_times[key], keypad_times[key], delta,
+                      "yes" if delta > 1.0 else "no")
+    table.note("paper: scans 'slower but usable'; web/mail/editing "
+               "'no noticeable performance degradation' — i.e. sub-second "
+               "added latency per activity")
+    return table
+
+
+def bandwidth_estimate(
+    days: float = 12.0,
+    texp: float = 100.0,
+    network: NetEnv = THREE_G,
+) -> ResultTable:
+    """Keypad's network bandwidth over the usage trace."""
+    rig, workload = run_trace(texp, "dir:3", days=days, network=network)
+    duration = rig.sim.now
+    table = ResultTable(
+        "Keypad bandwidth over a 12-day trace (paper: <5 kb/s avg, "
+        "45 kb/s spikes)",
+        ["link", "bytes_sent", "messages", "avg_kbps_overall",
+         "peak_kbps_1s"],
+    )
+    for label, link in (("key service", rig.key_link),
+                        ("metadata service", rig.metadata_link)):
+        table.add(
+            label,
+            link.stats.bytes_sent,
+            link.stats.messages_sent,
+            link.stats.average_kbps_over(duration),
+            link.stats.peak_kbps(1.0),
+        )
+    total_bytes = rig.key_link.stats.bytes_sent + rig.metadata_link.stats.bytes_sent
+    table.note(
+        f"combined average over the whole trace: "
+        f"{total_bytes * 8 / 1000.0 / duration:.3f} kb/s"
+    )
+    return table

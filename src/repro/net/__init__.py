@@ -1,0 +1,35 @@
+"""Simulated network substrate: links, presets, wire format, RPC."""
+
+from repro.net.link import Link, LinkStats
+from repro.net.netem import (
+    ALL_NETWORKS,
+    BLUETOOTH,
+    BROADBAND,
+    DSL,
+    LAN,
+    PAPER_SWEEP_RTTS,
+    THREE_G,
+    WLAN,
+    NetEnv,
+)
+from repro.net.rpc import RpcChannel, RpcServer
+from repro.net.wire import marshal_request, marshal_response, unmarshal
+
+__all__ = [
+    "Link",
+    "LinkStats",
+    "NetEnv",
+    "LAN",
+    "WLAN",
+    "BROADBAND",
+    "DSL",
+    "THREE_G",
+    "BLUETOOTH",
+    "ALL_NETWORKS",
+    "PAPER_SWEEP_RTTS",
+    "RpcChannel",
+    "RpcServer",
+    "marshal_request",
+    "marshal_response",
+    "unmarshal",
+]

@@ -1,0 +1,143 @@
+"""Simulated network links.
+
+A :class:`Link` models one bidirectional connection between the client
+device and a remote endpoint (audit service, paired phone).  The paper
+evaluates Keypad purely as a function of round-trip time (bandwidth is
+shown to be a non-issue: average Keypad traffic is under 5 kb/s), so a
+link charges ``rtt/2 + bytes/bandwidth`` per one-way message and
+supports outage windows for the disconnection experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import NetworkUnavailableError
+from repro.sim import Event, Simulation
+
+__all__ = ["Link", "LinkStats"]
+
+
+class LinkStats:
+    """Byte/message accounting, used by the bandwidth experiment."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.first_send_time: Optional[float] = None
+        self.last_send_time: Optional[float] = None
+        self.events: list[tuple[float, int]] = []
+
+    def record(self, now: float, n_bytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += n_bytes
+        if self.first_send_time is None:
+            self.first_send_time = now
+        self.last_send_time = now
+        self.events.append((now, n_bytes))
+
+    def average_kbps(self) -> float:
+        """Average rate in kilobits/second over the active window."""
+        if self.first_send_time is None or self.last_send_time == self.first_send_time:
+            return 0.0
+        window = self.last_send_time - self.first_send_time
+        return self.bytes_sent * 8 / 1000.0 / window
+
+    def average_kbps_over(self, duration: float) -> float:
+        """Average rate over an externally supplied duration."""
+        if duration <= 0:
+            return 0.0
+        return self.bytes_sent * 8 / 1000.0 / duration
+
+    def peak_kbps(self, window: float = 1.0) -> float:
+        """Peak rate over any sliding window of the given width."""
+        if not self.events or window <= 0:
+            return 0.0
+        peak = 0
+        lo = 0
+        acc = 0
+        for hi, (t_hi, n_hi) in enumerate(self.events):
+            acc += n_hi
+            while self.events[lo][0] < t_hi - window:
+                acc -= self.events[lo][1]
+                lo += 1
+            peak = max(peak, acc)
+        return peak * 8 / 1000.0 / window
+
+
+class Link:
+    """A point-to-point link with latency, bandwidth, and outages."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        rtt: float,
+        bandwidth_bps: Optional[float] = None,
+        name: str = "link",
+    ):
+        if rtt < 0:
+            raise ValueError("RTT cannot be negative")
+        self.sim = sim
+        self.rtt = rtt
+        self.bandwidth_bps = bandwidth_bps
+        self.name = name
+        self.up = True
+        self.severed = False
+        self.stats = LinkStats()
+        self._up_event: Optional[Event] = None
+
+    # -- state control -----------------------------------------------------
+    def set_down(self) -> None:
+        """Begin an outage (e.g. entering a tunnel, WiFi drop)."""
+        self.up = False
+
+    def set_up(self) -> None:
+        """End an outage; wakes any senders blocked in wait mode."""
+        if self.severed:
+            raise NetworkUnavailableError(f"{self.name} was severed")
+        self.up = True
+        if self._up_event is not None:
+            event, self._up_event = self._up_event, None
+            event.succeed()
+
+    def sever(self) -> None:
+        """Permanently cut the link (thief removes the radio / drive)."""
+        self.severed = True
+        self.up = False
+
+    @property
+    def available(self) -> bool:
+        return self.up and not self.severed
+
+    # -- transfers -----------------------------------------------------------
+    def one_way_delay(self, n_bytes: int) -> float:
+        delay = self.rtt / 2.0
+        if self.bandwidth_bps:
+            delay += n_bytes * 8 / self.bandwidth_bps
+        return delay
+
+    def transfer(
+        self, n_bytes: int, wait_for_up: bool = False
+    ) -> Generator:
+        """Sim-process: deliver ``n_bytes`` one way.
+
+        With ``wait_for_up`` the sender blocks through outages (used by
+        the paired phone's bulk uploader); otherwise an outage raises
+        :class:`NetworkUnavailableError` immediately, modelling the
+        client-side send failure Keypad must handle.
+        """
+        if not self.available:
+            if self.severed or not wait_for_up:
+                raise NetworkUnavailableError(f"{self.name} is down")
+            while not self.available:
+                if self._up_event is None:
+                    self._up_event = self.sim.event()
+                yield self._up_event
+                if self.severed:
+                    raise NetworkUnavailableError(f"{self.name} was severed")
+        self.stats.record(self.sim.now, n_bytes)
+        yield self.sim.timeout(self.one_way_delay(n_bytes))
+        if not self.available:
+            # The link dropped while the message was in flight.
+            raise NetworkUnavailableError(f"{self.name} dropped mid-transfer")
+        return n_bytes

@@ -1,0 +1,58 @@
+"""Network environment presets matching the paper's evaluation (§5).
+
+    "we emulate the following RTTs for various networks: 0.1ms RTT for
+    a LAN, 2ms RTT for a wireless LAN (WLAN), 25ms RTT for broadband,
+    125ms RTT for a DSL network, and 300ms RTT for a 3G cellular
+    network."
+
+Bandwidth is deliberately left unconstrained for the service links —
+the paper does the same ("we did not emulate different bandwidth
+constraints, however, Keypad's bandwidth requirements are very low").
+The Bluetooth preset backs the paired-device experiments; the paper
+observes its latency is broadband-class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import Link
+from repro.sim import Simulation
+
+__all__ = ["NetEnv", "LAN", "WLAN", "BROADBAND", "DSL", "THREE_G", "BLUETOOTH",
+           "ALL_NETWORKS", "PAPER_SWEEP_RTTS"]
+
+
+@dataclass(frozen=True)
+class NetEnv:
+    """A named network environment."""
+
+    name: str
+    rtt: float  # seconds
+    bandwidth_bps: float | None = None
+
+    def make_link(self, sim: Simulation, label: str = "") -> Link:
+        return Link(
+            sim,
+            rtt=self.rtt,
+            bandwidth_bps=self.bandwidth_bps,
+            name=label or self.name,
+        )
+
+    @property
+    def rtt_ms(self) -> float:
+        return self.rtt * 1000.0
+
+
+LAN = NetEnv("LAN", rtt=0.1e-3)
+WLAN = NetEnv("WLAN", rtt=2e-3)
+BROADBAND = NetEnv("Broadband", rtt=25e-3)
+DSL = NetEnv("DSL", rtt=125e-3)
+THREE_G = NetEnv("3G", rtt=300e-3)
+BLUETOOTH = NetEnv("Bluetooth", rtt=25e-3)
+
+ALL_NETWORKS = (LAN, WLAN, BROADBAND, DSL, THREE_G)
+
+# RTT sweep (ms) used by the figures plotted against log-scale RTT
+# (Figures 8 and 10 span 0.1 ms .. 300 ms).
+PAPER_SWEEP_RTTS = (0.1, 0.5, 2.0, 8.0, 25.0, 60.0, 125.0, 300.0)

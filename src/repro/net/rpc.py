@@ -1,0 +1,218 @@
+"""Encrypted RPC over simulated links.
+
+Models the paper's transport: "All components are coded in C++ and
+communicate using encrypted XML-RPC with persistent connections."
+Requests and responses are really marshalled (:mod:`repro.net.wire`),
+really sealed with an AEAD session key, and really authenticated with a
+per-device secret.  Session keys ratchet every ``rekey_interval``
+seconds, matching §6: "The keys must change every Texp seconds to
+ensure that an attacker who extracts the current network encryption key
+from the device cannot decrypt past intercepted data."
+
+Latency per call: client marshal CPU + one-way transfer + server
+handler time + return transfer + client unmarshal CPU, all charged from
+the :class:`~repro.costmodel.CostModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.costmodel import DEFAULT_COSTS, CostModel
+from repro.crypto.aead import NONCE_LEN, StreamHmacAead
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.kdf import hkdf_sha256
+from repro.errors import (
+    AuthorizationError,
+    LockedFileError,
+    NetworkUnavailableError,
+    RevokedError,
+    RpcError,
+    ServiceUnavailableError,
+)
+from repro.net.link import Link
+from repro.net.wire import marshal_request, marshal_response, unmarshal
+from repro.sim import Simulation
+
+__all__ = ["RpcServer", "RpcChannel"]
+
+# Exceptions that cross the wire as typed faults.
+_FAULT_TYPES: dict[str, type] = {
+    "RpcError": RpcError,
+    "RevokedError": RevokedError,
+    "AuthorizationError": AuthorizationError,
+    "ServiceUnavailableError": ServiceUnavailableError,
+    "LockedFileError": LockedFileError,
+}
+
+
+class RpcServer:
+    """A remote service endpoint: named handlers + device registry."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        self.sim = sim
+        self.name = name
+        self.costs = costs
+        self._handlers: dict[str, Callable] = {}
+        self._device_secrets: dict[str, bytes] = {}
+        self.available = True
+
+    def register(self, method: str, handler: Callable) -> None:
+        """Register a handler.
+
+        Handlers receive ``(device_id, payload_dict)`` and either
+        return a payload directly or are generators that may yield sim
+        waitables (e.g. for durable log appends) before returning.
+        """
+        self._handlers[method] = handler
+
+    def enroll_device(self, device_id: str, device_secret: bytes) -> None:
+        """Provision a device's shared authentication secret."""
+        self._device_secrets[device_id] = device_secret
+
+    def device_secret(self, device_id: str) -> bytes:
+        try:
+            return self._device_secrets[device_id]
+        except KeyError:
+            raise AuthorizationError(f"unknown device {device_id!r}") from None
+
+    # -- request execution (driven by RpcChannel) ---------------------------
+    def dispatch(self, device_id: str, method: str, payload: dict) -> Generator:
+        if not self.available:
+            raise ServiceUnavailableError(f"{self.name} is unavailable")
+        handler = self._handlers.get(method)
+        if handler is None:
+            raise RpcError(f"{self.name}: no such method {method!r}")
+        result = handler(device_id, payload)
+        if hasattr(result, "send"):  # generator handler
+            result = yield from result
+        return result
+
+
+class RpcChannel:
+    """Client-side stub bound to (device, link, server).
+
+    Use from sim processes as ``result = yield from channel.call(...)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        link: Link,
+        server: RpcServer,
+        device_id: str,
+        device_secret: bytes,
+        costs: CostModel = DEFAULT_COSTS,
+        rekey_interval: float = 100.0,
+    ):
+        self.sim = sim
+        self.link = link
+        self.server = server
+        self.device_id = device_id
+        self._device_secret = device_secret
+        self.costs = costs
+        self.rekey_interval = rekey_interval
+        self._session_key = hkdf_sha256(
+            device_secret, b"", b"rpc-session-0", 32
+        )
+        self._suite = StreamHmacAead(self._session_key)
+        self._last_rekey = sim.now
+        self._epoch = 0
+        self._seq = 0
+        self._connected = False
+
+    # -- session key ratchet ---------------------------------------------------
+    def _maybe_ratchet(self) -> None:
+        while self.sim.now - self._last_rekey >= self.rekey_interval:
+            self._epoch += 1
+            self._session_key = hkdf_sha256(
+                self._session_key, b"", b"rpc-ratchet", 32
+            )
+            self._suite = StreamHmacAead(self._session_key)
+            self._last_rekey += self.rekey_interval
+
+    def _nonce(self, direction: bytes) -> bytes:
+        self._seq += 1
+        material = direction + self._seq.to_bytes(8, "big")
+        return material.ljust(NONCE_LEN, b"\x00")[:NONCE_LEN]
+
+    # -- the call itself ----------------------------------------------------------
+    def call(self, method: str, **params: Any) -> Generator:
+        """Sim-process generator performing one authenticated RPC."""
+        self._maybe_ratchet()
+
+        # Authenticate: HMAC over device id, method, and payload bytes.
+        request_plain = marshal_request(method, params)
+        auth_tag = hmac_sha256(
+            self._device_secret, self.device_id.encode() + request_plain
+        )
+        envelope = self._suite.seal(
+            self._nonce(b"req"),
+            request_plain,
+            aad=self.device_id.encode() + auth_tag,
+        )
+        wire_size = len(envelope) + len(auth_tag) + len(self.device_id) + 24
+
+        # Client marshal + seal CPU.
+        yield self.sim.timeout(self.costs.rpc_marshal_time(wire_size))
+        if not self._connected:
+            # Persistent connections: only the first call (or the first
+            # after an outage) pays connection setup.
+            yield self.sim.timeout(self.costs.rpc_connect)
+
+        try:
+            yield from self.link.transfer(wire_size)
+        except NetworkUnavailableError:
+            self._connected = False
+            raise
+        self._connected = True
+
+        # Server side: verify auth, unmarshal, execute.
+        server = self.server
+        expected = hmac_sha256(
+            server.device_secret(self.device_id),
+            self.device_id.encode() + request_plain,
+        )
+        if expected != auth_tag:
+            raise AuthorizationError("request authentication failed")
+        message = unmarshal(request_plain)
+        yield self.sim.timeout(
+            self.costs.rpc_marshal_time(wire_size, server=True)
+        )
+        try:
+            result = yield from server.dispatch(
+                self.device_id, message.method, message.payload
+            )
+            fault: Optional[BaseException] = None
+        except (RpcError, RevokedError, AuthorizationError,
+                ServiceUnavailableError, LockedFileError) as exc:
+            result = {
+                "__fault__": type(exc).__name__,
+                "message": str(exc),
+            }
+            fault = exc
+
+        # Response path.
+        response_plain = marshal_response(result)
+        response_envelope = self._suite.seal(
+            self._nonce(b"rsp"), response_plain
+        )
+        response_size = len(response_envelope) + 16
+        try:
+            yield from self.link.transfer(response_size)
+        except NetworkUnavailableError:
+            self._connected = False
+            raise
+        yield self.sim.timeout(self.costs.rpc_marshal_time(response_size))
+
+        payload = unmarshal(response_plain).payload
+        if isinstance(payload, dict) and "__fault__" in payload:
+            exc_type = _FAULT_TYPES.get(payload["__fault__"], RpcError)
+            raise exc_type(payload.get("message", "remote fault"))
+        assert fault is None
+        return payload

@@ -1,0 +1,202 @@
+"""XML-RPC-style wire marshalling.
+
+The paper's components "communicate using encrypted XML-RPC with
+persistent connections", and its Figure 6 attributes the client-side
+overhead of a key fetch chiefly to "XML-RPC marshalling overhead".  We
+therefore marshal to real XML-RPC bytes (a faithful subset: struct,
+array, int, string, base64, boolean, double, nil) so that byte counts —
+which feed both the bandwidth experiment and the link transfer times —
+are honest.
+"""
+
+from __future__ import annotations
+
+import base64
+import re
+from typing import Any
+
+from repro.errors import RpcError
+
+__all__ = ["marshal_request", "marshal_response", "unmarshal", "WireMessage"]
+
+
+class WireMessage:
+    """A parsed wire message: method name (requests only) + payload."""
+
+    def __init__(self, method: str | None, payload: Any):
+        self.method = method
+        self.payload = payload
+
+
+def _encode_value(value: Any) -> str:
+    if value is None:
+        return "<nil/>"
+    if isinstance(value, bool):
+        return f"<boolean>{int(value)}</boolean>"
+    if isinstance(value, int):
+        return f"<int>{value}</int>"
+    if isinstance(value, float):
+        return f"<double>{value!r}</double>"
+    if isinstance(value, str):
+        return f"<string>{_escape(value)}</string>"
+    if isinstance(value, (bytes, bytearray)):
+        return f"<base64>{base64.b64encode(bytes(value)).decode()}</base64>"
+    if isinstance(value, (list, tuple)):
+        inner = "".join(f"<value>{_encode_value(v)}</value>" for v in value)
+        return f"<array><data>{inner}</data></array>"
+    if isinstance(value, dict):
+        members = "".join(
+            f"<member><name>{_escape(str(k))}</name>"
+            f"<value>{_encode_value(v)}</value></member>"
+            for k, v in value.items()
+        )
+        return f"<struct>{members}</struct>"
+    raise RpcError(f"cannot marshal value of type {type(value).__name__}")
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _unescape(text: str) -> str:
+    return (
+        text.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+    )
+
+
+def marshal_request(method: str, params: dict[str, Any]) -> bytes:
+    body = (
+        "<?xml version='1.0'?><methodCall>"
+        f"<methodName>{_escape(method)}</methodName>"
+        f"<params><param><value>{_encode_value(params)}</value></param></params>"
+        "</methodCall>"
+    )
+    return body.encode()
+
+
+def marshal_response(payload: Any) -> bytes:
+    body = (
+        "<?xml version='1.0'?><methodResponse>"
+        f"<params><param><value>{_encode_value(payload)}</value></param></params>"
+        "</methodResponse>"
+    )
+    return body.encode()
+
+
+# A tiny recursive-descent parser over a tokenized tag stream.  We parse
+# only what we emit; anything else is a protocol error.
+
+_TOKEN = re.compile(r"<[^>]+>|[^<]+")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = [t for t in _TOKEN.findall(text) if t.strip()]
+        self.pos = 0
+
+    def peek(self) -> str:
+        if self.pos >= len(self.tokens):
+            raise RpcError("truncated wire message")
+        return self.tokens[self.pos]
+
+    def next(self) -> str:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, tag: str) -> None:
+        token = self.next()
+        if token != tag:
+            raise RpcError(f"expected {tag}, got {token}")
+
+    def parse_value(self) -> Any:
+        self.expect("<value>")
+        result = self._parse_typed()
+        self.expect("</value>")
+        return result
+
+    def _parse_typed(self) -> Any:
+        token = self.next()
+        if token == "<nil/>":
+            return None
+        if token == "<boolean>":
+            raw = self.next()
+            self.expect("</boolean>")
+            return raw.strip() == "1"
+        if token == "<int>":
+            raw = self.next()
+            self.expect("</int>")
+            return int(raw.strip())
+        if token == "<double>":
+            raw = self.next()
+            self.expect("</double>")
+            return float(raw.strip())
+        if token == "<string>":
+            if self.peek() == "</string>":
+                self.next()
+                return ""
+            raw = self.next()
+            self.expect("</string>")
+            return _unescape(raw)
+        if token == "<base64>":
+            if self.peek() == "</base64>":
+                self.next()
+                return b""
+            raw = self.next()
+            self.expect("</base64>")
+            return base64.b64decode(raw.strip())
+        if token == "<array>":
+            self.expect("<data>")
+            items = []
+            while self.peek() != "</data>":
+                items.append(self.parse_value())
+            self.expect("</data>")
+            self.expect("</array>")
+            return items
+        if token == "<struct>":
+            result: dict[str, Any] = {}
+            while self.peek() != "</struct>":
+                self.expect("<member>")
+                self.expect("<name>")
+                name = _unescape(self.next())
+                self.expect("</name>")
+                result[name] = self.parse_value()
+                self.expect("</member>")
+            self.expect("</struct>")
+            return result
+        raise RpcError(f"unexpected wire token {token}")
+
+
+def unmarshal(data: bytes) -> WireMessage:
+    """Parse a request or response produced by the marshal functions."""
+    try:
+        text = data.decode()
+    except UnicodeDecodeError as exc:
+        raise RpcError("wire message is not valid UTF-8") from exc
+    parser = _Parser(text)
+    first = parser.next()
+    if not first.startswith("<?xml"):
+        raise RpcError("missing XML prologue")
+    kind = parser.next()
+    if kind == "<methodCall>":
+        parser.expect("<methodName>")
+        method = _unescape(parser.next())
+        parser.expect("</methodName>")
+        parser.expect("<params>")
+        parser.expect("<param>")
+        payload = parser.parse_value()
+        parser.expect("</param>")
+        parser.expect("</params>")
+        parser.expect("</methodCall>")
+        return WireMessage(method, payload)
+    if kind == "<methodResponse>":
+        parser.expect("<params>")
+        parser.expect("<param>")
+        payload = parser.parse_value()
+        parser.expect("</param>")
+        parser.expect("</params>")
+        parser.expect("</methodResponse>")
+        return WireMessage(None, payload)
+    raise RpcError(f"unknown wire message kind {kind}")

@@ -1,0 +1,6 @@
+"""NFSv3-style networked file system baseline (§5.1.3)."""
+
+from repro.nfs.client import NfsClient
+from repro.nfs.server import NfsServer
+
+__all__ = ["NfsClient", "NfsServer"]

@@ -1,0 +1,236 @@
+"""NFSv3-style server (baseline for §5.1.3 / Figure 10).
+
+The paper compares Keypad against NFS as the "store everything remote"
+alternative: with NFS the *content* crosses the network, with Keypad
+only the keys do.  The server exports a server-side file tree; every
+client op is one (or more) RPCs.
+
+The server is intentionally faithful to NFSv3's flavour: stateless
+handlers keyed by file handle, LOOKUP walking one component at a time,
+READ/WRITE with offsets, and an async WRITE + COMMIT pair so the client
+can batch writes (the paper configured "asynchronous batched writes").
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.costmodel import DEFAULT_COSTS, CostModel
+from repro.errors import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    IsADirectory,
+    NotADirectory,
+    RpcError,
+)
+from repro.net.rpc import RpcServer
+from repro.sim import Simulation
+
+__all__ = ["NfsServer"]
+
+
+class _Node:
+    __slots__ = ("handle", "is_dir", "data", "children", "mtime", "ctime")
+
+    def __init__(self, handle: int, is_dir: bool, now: float):
+        self.handle = handle
+        self.is_dir = is_dir
+        self.data = bytearray()
+        self.children: dict[str, int] = {}
+        self.mtime = now
+        self.ctime = now
+
+
+class NfsServer:
+    """The remote file server."""
+
+    ROOT_HANDLE = 1
+
+    def __init__(
+        self,
+        sim: Simulation,
+        costs: CostModel = DEFAULT_COSTS,
+        name: str = "nfs-server",
+    ):
+        self.sim = sim
+        self.costs = costs
+        self.server = RpcServer(sim, name, costs)
+        self._nodes: dict[int, _Node] = {}
+        self._next_handle = self.ROOT_HANDLE
+        root = self._new_node(is_dir=True)
+        assert root.handle == self.ROOT_HANDLE
+
+        for method, handler in (
+            ("nfs.lookup", self._op_lookup),
+            ("nfs.getattr", self._op_getattr),
+            ("nfs.read", self._op_read),
+            ("nfs.write", self._op_write),
+            ("nfs.commit", self._op_commit),
+            ("nfs.create", self._op_create),
+            ("nfs.mkdir", self._op_mkdir),
+            ("nfs.remove", self._op_remove),
+            ("nfs.rmdir", self._op_rmdir),
+            ("nfs.rename", self._op_rename),
+            ("nfs.readdir", self._op_readdir),
+            ("nfs.setattr", self._op_setattr),
+        ):
+            self.server.register(method, handler)
+
+    def enroll_device(self, device_id: str, secret: bytes) -> None:
+        self.server.enroll_device(device_id, secret)
+
+    # -- helpers ------------------------------------------------------------
+    def _new_node(self, is_dir: bool) -> _Node:
+        node = _Node(self._next_handle, is_dir, self.sim.now)
+        self._nodes[node.handle] = node
+        self._next_handle += 1
+        return node
+
+    def _node(self, handle: int) -> _Node:
+        node = self._nodes.get(handle)
+        if node is None:
+            raise FileNotFound(f"stale NFS handle {handle}")
+        return node
+
+    def _dir(self, handle: int) -> _Node:
+        node = self._node(handle)
+        if not node.is_dir:
+            raise NotADirectory(f"handle {handle}")
+        return node
+
+    def _attrs(self, node: _Node) -> dict:
+        return {
+            "handle": node.handle,
+            "is_dir": node.is_dir,
+            "size": len(node.data),
+            "mtime": node.mtime,
+            "ctime": node.ctime,
+        }
+
+    # -- operations ------------------------------------------------------------
+    def _op_lookup(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        parent = self._dir(payload["dir_handle"])
+        child_handle = parent.children.get(payload["name"])
+        if child_handle is None:
+            raise FileNotFound(payload["name"])
+        return self._attrs(self._node(child_handle))
+
+    def _op_getattr(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        return self._attrs(self._node(payload["handle"]))
+
+    def _op_read(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        node = self._node(payload["handle"])
+        if node.is_dir:
+            raise IsADirectory(str(payload["handle"]))
+        offset = payload["offset"]
+        count = payload["count"]
+        return {"data": bytes(node.data[offset:offset + count])}
+
+    def _op_write(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        node = self._node(payload["handle"])
+        if node.is_dir:
+            raise IsADirectory(str(payload["handle"]))
+        offset = payload["offset"]
+        data = payload["data"]
+        if len(node.data) < offset:
+            node.data.extend(bytes(offset - len(node.data)))
+        node.data[offset:offset + len(data)] = data
+        node.mtime = self.sim.now
+        return {"count": len(data)}
+
+    def _op_commit(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        return {"verf": 1}
+
+    def _op_create(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        parent = self._dir(payload["dir_handle"])
+        name = payload["name"]
+        if name in parent.children:
+            raise FileExists(name)
+        node = self._new_node(is_dir=False)
+        parent.children[name] = node.handle
+        parent.mtime = self.sim.now
+        return self._attrs(node)
+
+    def _op_mkdir(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        parent = self._dir(payload["dir_handle"])
+        name = payload["name"]
+        if name in parent.children:
+            raise FileExists(name)
+        node = self._new_node(is_dir=True)
+        parent.children[name] = node.handle
+        parent.mtime = self.sim.now
+        return self._attrs(node)
+
+    def _op_remove(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        parent = self._dir(payload["dir_handle"])
+        name = payload["name"]
+        handle = parent.children.get(name)
+        if handle is None:
+            raise FileNotFound(name)
+        if self._node(handle).is_dir:
+            raise IsADirectory(name)
+        del parent.children[name]
+        del self._nodes[handle]
+        return {"ok": True}
+
+    def _op_rmdir(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        parent = self._dir(payload["dir_handle"])
+        name = payload["name"]
+        handle = parent.children.get(name)
+        if handle is None:
+            raise FileNotFound(name)
+        node = self._node(handle)
+        if not node.is_dir:
+            raise NotADirectory(name)
+        if node.children:
+            raise DirectoryNotEmpty(name)
+        del parent.children[name]
+        del self._nodes[handle]
+        return {"ok": True}
+
+    def _op_rename(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        src_dir = self._dir(payload["src_dir"])
+        dst_dir = self._dir(payload["dst_dir"])
+        src_name = payload["src_name"]
+        dst_name = payload["dst_name"]
+        handle = src_dir.children.get(src_name)
+        if handle is None:
+            raise FileNotFound(src_name)
+        existing = dst_dir.children.get(dst_name)
+        if existing is not None and existing != handle:
+            target = self._node(existing)
+            if target.is_dir and target.children:
+                raise DirectoryNotEmpty(dst_name)
+            del self._nodes[existing]
+        del src_dir.children[src_name]
+        dst_dir.children[dst_name] = handle
+        src_dir.mtime = dst_dir.mtime = self.sim.now
+        return {"ok": True}
+
+    def _op_readdir(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        node = self._dir(payload["handle"])
+        return {"names": sorted(node.children)}
+
+    def _op_setattr(self, device_id: str, payload: dict) -> Generator:
+        yield self.sim.timeout(self.costs.nfs_server_op)
+        node = self._node(payload["handle"])
+        if "size" in payload:
+            size = payload["size"]
+            if size < len(node.data):
+                del node.data[size:]
+            else:
+                node.data.extend(bytes(size - len(node.data)))
+            node.mtime = self.sim.now
+        return self._attrs(node)

@@ -1,0 +1,364 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction — the Keypad file system, the audit
+services, network links, background cache-purge threads, applications,
+and attackers — runs as a *process* on this kernel.  A process is a
+Python generator that yields :class:`Waitable` objects (timeouts,
+events, other processes); the kernel resumes it when the waitable
+fires.  Simulated time advances only between events, so a multi-hour
+"3G Apache compile" completes in seconds of wall-clock time while
+remaining fully deterministic.
+
+The design deliberately mirrors a small subset of SimPy:
+
+* :meth:`Simulation.process` spawns a generator as a process.
+* ``yield sim.timeout(dt)`` suspends for ``dt`` simulated seconds.
+* ``yield event`` suspends until :meth:`Event.succeed` or
+  :meth:`Event.fail` is called.
+* ``yield other_process`` joins another process, receiving its return
+  value (or re-raising its exception).
+* :meth:`Process.interrupt` throws :class:`Interrupt` inside a process,
+  which is how we model things like a device being stolen mid-operation
+  or a background thread being cancelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulation",
+    "Process",
+    "Event",
+    "Timeout",
+    "Queue",
+    "Lock",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the kernel (bad yields, double triggers)."""
+
+
+class Interrupt(Exception):
+    """Thrown inside a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Waitable:
+    """Base class for anything a process may ``yield``.
+
+    A waitable is *triggered* exactly once, either successfully (with a
+    value) or with an exception.  Processes that yielded it are resumed
+    in FIFO order at the simulated instant it triggers.
+    """
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self.triggered = False
+        self.ok: Optional[bool] = None
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    # -- internal ---------------------------------------------------------
+    def _add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            # Resume immediately (still via the scheduler, for ordering).
+            self.sim._schedule(0.0, proc._resume, self.ok, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def _remove_waiter(self, proc: "Process") -> None:
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError(f"{self!r} triggered twice")
+        self.triggered = True
+        self.ok = ok
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule(0.0, proc._resume, ok, value)
+
+
+class Timeout(Waitable):
+    """Fires after a fixed simulated delay."""
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim._schedule(delay, self._trigger, True, value)
+
+
+class Event(Waitable):
+    """A manually-triggered waitable (one-shot)."""
+
+    def succeed(self, value: Any = None) -> "Event":
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise SimulationError("Event.fail requires an exception")
+        self._trigger(False, exc)
+        return self
+
+
+class Process(Waitable):
+    """A running generator.  Also waitable: yielding it joins it."""
+
+    def __init__(self, sim: "Simulation", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"process target must be a generator, got {type(gen).__name__}"
+            )
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Waitable] = None
+        self._started = False
+        sim._schedule(0.0, self._resume, True, None)
+
+    # -- public -----------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        exc = Interrupt(cause)
+        self.sim._schedule(0.0, self._resume, False, exc)
+
+    # -- internal ---------------------------------------------------------
+    def _resume(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            return  # already finished (e.g. interrupt raced completion)
+        self._waiting_on = None
+        self._started = True
+        try:
+            if ok:
+                target = self.gen.send(value)
+            else:
+                target = self.gen.throw(value)
+        except StopIteration as stop:
+            self._trigger(True, stop.value)
+            return
+        except Interrupt as exc:
+            # An un-caught interrupt terminates the process quietly.
+            self._trigger(False, exc)
+            return
+        except Exception as exc:
+            had_waiters = bool(self._waiters)
+            self._trigger(False, exc)
+            if not had_waiters:
+                self.sim._crash(self, exc)
+            return
+        if not isinstance(target, Waitable):
+            exc2 = SimulationError(
+                f"process {self.name!r} yielded {target!r}, "
+                "expected a Timeout/Event/Process"
+            )
+            self._trigger(False, exc2)
+            self.sim._crash(self, exc2)
+            return
+        self._waiting_on = target
+        target._add_waiter(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class Lock:
+    """Cooperative mutex for processes (FIFO handoff).
+
+    Usage inside a process::
+
+        yield from lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+    """
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self._locked = False
+        self._waiters: list[Event] = []
+
+    def acquire(self) -> Generator:
+        if not self._locked:
+            self._locked = True
+            return None
+        event = Event(self.sim)
+        self._waiters.append(event)
+        yield event  # ownership is handed over on release
+        return None
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError("release of an unheld lock")
+        if self._waiters:
+            # Keep _locked True: ownership passes to the next waiter.
+            self._waiters.pop(0).succeed()
+        else:
+            self._locked = False
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+
+class Queue:
+    """Unbounded FIFO message queue between processes.
+
+    ``put`` is immediate; ``get`` returns an :class:`Event` that fires
+    with the next item.  Used for RPC server loops and the paired-device
+    daemon.
+    """
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.pop(0))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Simulation:
+    """The event loop.  Time is in (simulated) seconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._crashed: Optional[tuple[Process, BaseException]] = None
+
+    # -- time -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def queue(self) -> Queue:
+        return Queue(self)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def _crash(self, proc: Process, exc: BaseException) -> None:
+        """Record an unhandled process failure; surfaced from :meth:`run`."""
+        if self._crashed is None:
+            self._crashed = (proc, exc)
+
+    # -- running ------------------------------------------------------------
+    def _step(self) -> None:
+        """Dispatch the single next event."""
+        time, _seq, fn, args = heapq.heappop(self._heap)
+        self._now = time
+        fn(*args)
+        if self._crashed is not None:
+            _proc, exc = self._crashed
+            self._crashed = None
+            raise exc
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event heap drains or ``until`` is reached.
+
+        Returns the final simulated time.  Re-raises the first unhandled
+        process exception.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self._step()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until(self, waitable: Waitable) -> Any:
+        """Run until ``waitable`` triggers; return (or raise) its value.
+
+        Unlike :meth:`run`, this tolerates daemon processes that never
+        terminate (background purge threads, service loops).
+        """
+        while not waitable.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: waiting on {waitable!r} with an empty event heap"
+                )
+            self._step()
+        if waitable.ok:
+            return waitable.value
+        raise waitable.value
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Spawn ``gen`` and run until it finishes; return its value."""
+        return self.run_until(self.process(gen, name=name))
+
+    def all_of(self, waitables: Iterable[Waitable]) -> Event:
+        """An event that fires (with a list of values) when all fire."""
+        waitables = list(waitables)
+        done = self.event()
+        remaining = len(waitables)
+        results: list[Any] = [None] * remaining
+        if remaining == 0:
+            return done.succeed([])
+
+        def watcher(i: int, w: Waitable) -> Generator:
+            nonlocal remaining
+            try:
+                value = yield w
+            except Exception as exc:
+                if not done.triggered:
+                    done.fail(exc)
+                return
+            results[i] = value
+            remaining -= 1
+            if remaining == 0 and not done.triggered:
+                done.succeed(list(results))
+
+        for i, w in enumerate(waitables):
+            self.process(watcher(i, w), name=f"all_of[{i}]")
+        return done

@@ -1,0 +1,18 @@
+"""Storage substrate: block device, buffer cache, local FS, VFS."""
+
+from repro.storage.blockdev import BlockDevice
+from repro.storage.buffercache import BufferCache
+from repro.storage.fsiface import FsInterface
+from repro.storage.localfs import ROOT_INO, Attr, LocalFileSystem
+from repro.storage.vfs import FileHandle, Vfs
+
+__all__ = [
+    "BlockDevice",
+    "BufferCache",
+    "LocalFileSystem",
+    "Attr",
+    "ROOT_INO",
+    "FsInterface",
+    "FileHandle",
+    "Vfs",
+]

@@ -1,0 +1,83 @@
+"""Simulated block device.
+
+Backing store for the local file system: fixed-size blocks in memory,
+with per-access latency charged from the cost model and optional fault
+injection.  The raw :meth:`peek_raw` / :meth:`blocks_in_use` interface
+exists for the *offline attacker* (:mod:`repro.attack.offline`), who
+reads the stolen disk with his own tools, bypassing every file-system
+layer — exactly the paper's threat model ("physically extracting the
+hard drive from a laptop ... and interrogating it with custom
+hardware").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.costmodel import DEFAULT_COSTS, CostModel
+from repro.errors import DiskError
+from repro.sim import Simulation
+
+__all__ = ["BlockDevice"]
+
+
+class BlockDevice:
+    """An array of ``n_blocks`` blocks of ``block_size`` bytes."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        n_blocks: int = 1 << 20,
+        block_size: int = 4096,
+        costs: CostModel = DEFAULT_COSTS,
+        name: str = "disk0",
+    ):
+        if n_blocks <= 0 or block_size <= 0:
+            raise ValueError("device geometry must be positive")
+        self.sim = sim
+        self.n_blocks = n_blocks
+        self.block_size = block_size
+        self.costs = costs
+        self.name = name
+        self._blocks: dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+        # Fault injection: callable(op, block_no) -> bool (True = fail).
+        self.fault_hook: Optional[Callable[[str, int], bool]] = None
+
+    def _check(self, op: str, block_no: int) -> None:
+        if not 0 <= block_no < self.n_blocks:
+            raise DiskError(f"{self.name}: block {block_no} out of range")
+        if self.fault_hook is not None and self.fault_hook(op, block_no):
+            raise DiskError(f"{self.name}: injected {op} fault at block {block_no}")
+
+    def read_block(self, block_no: int) -> Generator:
+        """Sim-process: read one block (zero-filled if never written)."""
+        self._check("read", block_no)
+        yield self.sim.timeout(self.costs.disk_block_read)
+        self.reads += 1
+        return self._blocks.get(block_no, bytes(self.block_size))
+
+    def write_block(self, block_no: int, data: bytes) -> Generator:
+        """Sim-process: write one full block."""
+        self._check("write", block_no)
+        if len(data) != self.block_size:
+            raise DiskError(
+                f"{self.name}: short write ({len(data)} != {self.block_size})"
+            )
+        yield self.sim.timeout(self.costs.disk_block_write)
+        self.writes += 1
+        self._blocks[block_no] = bytes(data)
+        return None
+
+    # -- raw access for the offline attacker (no simulation, no FS) --------
+    def peek_raw(self, block_no: int) -> bytes:
+        """Read a block with 'custom hardware': no FS, no logging."""
+        return self._blocks.get(block_no, bytes(self.block_size))
+
+    def blocks_in_use(self) -> list[int]:
+        return sorted(self._blocks)
+
+    def snapshot(self) -> dict[int, bytes]:
+        """A full image of the disk (what a thief can always obtain)."""
+        return dict(self._blocks)

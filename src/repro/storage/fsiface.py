@@ -1,0 +1,75 @@
+"""The FS interface shared by every layer.
+
+Layers (local FS, EncFS, Keypad, NFS client) all speak
+:class:`FsInterface`.  Stacked file systems wrap a lower instance and
+transform paths/content on the way through — the FUSE-style
+architecture of the paper's prototype.  All methods are sim-process
+generators, invoked as ``yield from fs.op(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+__all__ = ["FsInterface"]
+
+
+class FsInterface:
+    """Abstract FS operations; all methods are sim-process generators."""
+
+    def exists(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def getattr(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def create(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def mkdir(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def read(self, path: str, offset: int, size: int) -> Generator:
+        raise NotImplementedError
+
+    def write(self, path: str, offset: int, data: bytes) -> Generator:
+        raise NotImplementedError
+
+    def truncate(self, path: str, size: int) -> Generator:
+        raise NotImplementedError
+
+    def readdir(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def unlink(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def rmdir(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def rename(self, old: str, new: str) -> Generator:
+        raise NotImplementedError
+
+    def set_xattr(self, path: str, name: str, value: bytes) -> Generator:
+        raise NotImplementedError
+
+    def get_xattr(self, path: str, name: str) -> Generator:
+        raise NotImplementedError
+
+    # Convenience wrappers shared by all layers -----------------------------
+    def read_all(self, path: str) -> Generator:
+        attr = yield from self.getattr(path)
+        data = yield from self.read(path, 0, attr.size)
+        return data
+
+    def write_file(self, path: str, data: bytes) -> Generator:
+        """Create-or-replace a file's full content."""
+        exists = yield from self.exists(path)
+        if not exists:
+            yield from self.create(path)
+        else:
+            yield from self.truncate(path, 0)
+        yield from self.write(path, 0, data)
+        return None
+
+

@@ -1,0 +1,81 @@
+"""A thin VFS facade: POSIX-style file handles over an FsInterface."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import InvalidArgument, IsADirectory
+from repro.sim import Simulation
+from repro.storage.fsiface import FsInterface
+
+__all__ = ["FileHandle", "Vfs"]
+
+
+class FileHandle:
+    """An open file with a seek position (VFS-level)."""
+
+    def __init__(self, vfs: "Vfs", fd: int, path: str):
+        self.vfs = vfs
+        self.fd = fd
+        self.path = path
+        self.position = 0
+        self.closed = False
+
+
+class Vfs:
+    """POSIX-ish facade: file descriptors over an FsInterface root."""
+
+    def __init__(self, sim: Simulation, root: FsInterface):
+        self.sim = sim
+        self.root = root
+        self._next_fd = 3
+        self._handles: dict[int, FileHandle] = {}
+
+    def open(self, path: str, create: bool = False) -> Generator:
+        """Sim-process: open (optionally creating) a file; returns handle."""
+        exists = yield from self.root.exists(path)
+        if not exists:
+            if not create:
+                from repro.errors import FileNotFound
+
+                raise FileNotFound(path)
+            yield from self.root.create(path)
+        else:
+            attr = yield from self.root.getattr(path)
+            if attr.is_dir:
+                raise IsADirectory(path)
+        handle = FileHandle(self, self._next_fd, path)
+        self._next_fd += 1
+        self._handles[handle.fd] = handle
+        return handle
+
+    def read(self, handle: FileHandle, size: int) -> Generator:
+        self._check(handle)
+        data = yield from self.root.read(handle.path, handle.position, size)
+        handle.position += len(data)
+        return data
+
+    def write(self, handle: FileHandle, data: bytes) -> Generator:
+        self._check(handle)
+        written = yield from self.root.write(handle.path, handle.position, data)
+        handle.position += written
+        return written
+
+    def seek(self, handle: FileHandle, position: int) -> None:
+        self._check(handle)
+        if position < 0:
+            raise InvalidArgument("negative seek position")
+        handle.position = position
+
+    def close(self, handle: FileHandle) -> None:
+        self._check(handle)
+        handle.closed = True
+        del self._handles[handle.fd]
+
+    def _check(self, handle: FileHandle) -> None:
+        if handle.closed or handle.fd not in self._handles:
+            raise InvalidArgument(f"fd {handle.fd} is not open")
+
+    @property
+    def open_count(self) -> int:
+        return len(self._handles)

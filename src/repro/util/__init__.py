@@ -1,0 +1,12 @@
+"""Small shared utilities (path handling, formatting)."""
+
+from repro.util.paths import (
+    basename,
+    is_ancestor,
+    join,
+    normalize,
+    parent_of,
+    split,
+)
+
+__all__ = ["normalize", "split", "parent_of", "basename", "join", "is_ancestor"]

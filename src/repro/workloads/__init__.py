@@ -1,0 +1,35 @@
+"""Workload generators reproducing the paper's evaluation inputs."""
+
+from repro.workloads.apache import ApacheCompileWorkload
+from repro.workloads.filescan import CopyPhotoAlbumWorkload, FindInHierarchyWorkload
+from repro.workloads.fsops import (
+    OpCounter,
+    TreeSpec,
+    build_tree,
+    read_file_chunked,
+    write_file_chunked,
+)
+from repro.workloads.office import (
+    OFFICE_TASKS,
+    OfficeTask,
+    prepare_office_environment,
+    task_by_name,
+)
+from repro.workloads.trace import UsageTraceWorkload, average_over_windows
+
+__all__ = [
+    "ApacheCompileWorkload",
+    "FindInHierarchyWorkload",
+    "CopyPhotoAlbumWorkload",
+    "OfficeTask",
+    "OFFICE_TASKS",
+    "prepare_office_environment",
+    "task_by_name",
+    "UsageTraceWorkload",
+    "average_over_windows",
+    "OpCounter",
+    "TreeSpec",
+    "build_tree",
+    "read_file_chunked",
+    "write_file_chunked",
+]

@@ -1,0 +1,92 @@
+"""Scanning workloads: recursive search and photo-album copy (Fig. 9).
+
+These are the workloads directory-key prefetching exists for:
+
+* "Find file in hierarchy" — a recursive grep through a document tree
+  (read-intensive, benefits from caching + prefetching);
+* "Copy photo album" — read every photo from one directory, write the
+  copy into another (mixed content/metadata; benefits from all three
+  optimizations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.storage.fsiface import FsInterface
+from repro.workloads.fsops import (
+    OpCounter,
+    TreeSpec,
+    build_tree,
+    read_file_chunked,
+    write_file_chunked,
+)
+
+__all__ = ["FindInHierarchyWorkload", "CopyPhotoAlbumWorkload"]
+
+_KB = 1024
+
+
+@dataclass
+class FindInHierarchyWorkload:
+    """grep -r through /home/user/hier: 5 dirs x 19 files x 8 KB."""
+
+    n_dirs: int = 5
+    files_per_dir: int = 19
+    file_size: int = 8 * _KB
+    root: str = "/home/user/hier"
+
+    def prepare(self, fs: FsInterface) -> Generator:
+        specs = [
+            TreeSpec(f"{self.root}/sub{d:02d}", self.files_per_dir,
+                     self.file_size, "note{:03d}.txt", b"lorem ipsum ")
+            for d in range(self.n_dirs)
+        ]
+        yield from build_tree(fs, specs)
+        return None
+
+    def run(self, fs: FsInterface, sim=None) -> Generator:
+        counter = OpCounter()
+        for d in range(self.n_dirs):
+            directory = f"{self.root}/sub{d:02d}"
+            names = yield from fs.readdir(directory)
+            for name in names:
+                yield from read_file_chunked(fs, f"{directory}/{name}", counter)
+        return counter
+
+
+@dataclass
+class CopyPhotoAlbumWorkload:
+    """cp -r album/ backup/: 35 photos x 16 KB across directories."""
+
+    n_photos: int = 35
+    photo_size: int = 16 * _KB
+    src: str = "/home/user/album"
+    dst: str = "/home/user/album_backup"
+
+    def prepare(self, fs: FsInterface) -> Generator:
+        specs = [
+            TreeSpec(self.src, self.n_photos, self.photo_size,
+                     "IMG_{:04d}.jpg", b"\xff\xd8\xff\xe0JFIF")
+        ]
+        yield from build_tree(fs, specs)
+        exists = yield from fs.exists(self.dst)
+        if not exists:
+            yield from fs.mkdir(self.dst)
+        return None
+
+    def run(self, fs: FsInterface, sim=None) -> Generator:
+        counter = OpCounter()
+        names = yield from fs.readdir(self.src)
+        for name in names:
+            data = yield from read_file_chunked(fs, f"{self.src}/{name}", counter)
+            target = f"{self.dst}/{name}"
+            exists = yield from fs.exists(target)
+            if exists:
+                yield from fs.unlink(target)
+                counter.unlinks += 1
+            yield from fs.create(target)
+            counter.creates += 1
+            yield from write_file_chunked(fs, target, data, counter)
+        return counter

@@ -1,0 +1,136 @@
+"""Shared workload machinery: tree builders and op accounting.
+
+Workloads are generators over an :class:`FsInterface`, so the same
+workload runs unchanged on ext3, EncFS, NFS, or Keypad — which is how
+the cross-file-system comparisons (Fig. 10, Table 1) are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.sim import SimRandom
+from repro.storage.fsiface import FsInterface
+
+__all__ = ["OpCounter", "TreeSpec", "build_tree", "read_file_chunked",
+           "write_file_chunked", "CHUNK"]
+
+CHUNK = 4096
+
+
+@dataclass
+class OpCounter:
+    """Counts the operations a workload issued (paper-style totals)."""
+
+    reads: int = 0
+    writes: int = 0
+    creates: int = 0
+    renames: int = 0
+    mkdirs: int = 0
+    unlinks: int = 0
+    getattrs: int = 0
+
+    @property
+    def content_ops(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def metadata_ops(self) -> int:
+        return self.creates + self.renames + self.mkdirs
+
+    @property
+    def total(self) -> int:
+        return (self.reads + self.writes + self.creates + self.renames
+                + self.mkdirs + self.unlinks + self.getattrs)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "creates": self.creates,
+            "renames": self.renames,
+            "mkdirs": self.mkdirs,
+            "unlinks": self.unlinks,
+            "content_ops": self.content_ops,
+            "metadata_ops": self.metadata_ops,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """A directory of synthetic files."""
+
+    directory: str
+    n_files: int
+    file_size: int
+    name_pattern: str = "file{:04d}.dat"
+    content_tag: bytes = b"data"
+
+
+def build_tree(
+    fs: FsInterface,
+    specs: list[TreeSpec],
+    rand: Optional[SimRandom] = None,
+    mkdirs: bool = True,
+) -> Generator:
+    """Sim-process: materialize the specified trees; returns all paths."""
+    paths: list[str] = []
+    made: set[str] = set()
+    for spec in specs:
+        if mkdirs and spec.directory not in made and spec.directory != "/":
+            parts = [p for p in spec.directory.split("/") if p]
+            so_far = ""
+            for part in parts:
+                so_far += "/" + part
+                if so_far not in made:
+                    exists = yield from fs.exists(so_far)
+                    if not exists:
+                        yield from fs.mkdir(so_far)
+                    made.add(so_far)
+        for i in range(spec.n_files):
+            path = f"{spec.directory}/{spec.name_pattern.format(i)}"
+            yield from fs.create(path)
+            if spec.file_size > 0:
+                body = spec.content_tag * (spec.file_size // len(spec.content_tag) + 1)
+                if rand is not None:
+                    body = rand.bytes(8) + body
+                yield from write_file_chunked(fs, path, body[:spec.file_size])
+            paths.append(path)
+    return paths
+
+
+def read_file_chunked(
+    fs: FsInterface, path: str, counter: Optional[OpCounter] = None,
+    chunk: int = CHUNK,
+) -> Generator:
+    """Read a whole file in page-sized chunks, like stdio would."""
+    attr = fs.getattr(path)
+    attr = yield from attr
+    data = b""
+    offset = 0
+    while offset < attr.size:
+        piece = yield from fs.read(path, offset, min(chunk, attr.size - offset))
+        if counter is not None:
+            counter.reads += 1
+        if not piece:
+            break
+        data += piece
+        offset += len(piece)
+    return data
+
+
+def write_file_chunked(
+    fs: FsInterface, path: str, data: bytes,
+    counter: Optional[OpCounter] = None, chunk: int = CHUNK,
+) -> Generator:
+    """Write a whole file in page-sized chunks."""
+    offset = 0
+    while offset < len(data):
+        piece = data[offset:offset + chunk]
+        yield from fs.write(path, offset, piece)
+        if counter is not None:
+            counter.writes += 1
+        offset += len(piece)
+    return len(data)

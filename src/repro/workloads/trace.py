@@ -1,0 +1,187 @@
+"""Long-horizon usage-trace workload (Figure 11, bandwidth estimate).
+
+Synthesizes the multi-day personal-use trace behind the paper's
+twelve-day deployment: Poisson-arriving work sessions, each a burst of
+office-style activities (document edits, mail reads, web browsing, the
+occasional directory scan) over a working set with Zipf locality.
+
+Figure 11 plots the *average number of keys in memory during use
+periods*; the workload records its session windows so the analysis can
+average the key-cache occupancy over exactly those windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.sim import SimRandom, Simulation
+from repro.storage.fsiface import FsInterface
+from repro.workloads.fsops import (
+    OpCounter,
+    TreeSpec,
+    build_tree,
+    read_file_chunked,
+    write_file_chunked,
+)
+
+__all__ = ["UsageTraceWorkload", "average_over_windows"]
+
+_KB = 1024
+DAY = 86400.0
+
+
+def average_over_windows(
+    samples: list[tuple[float, int]], windows: list[tuple[float, float]]
+) -> float:
+    """Time-weighted average of a step function over selected windows.
+
+    ``samples`` are (time, value) change-points (key-cache occupancy);
+    ``windows`` are (start, end) use periods.
+    """
+    if not windows:
+        return 0.0
+    total_time = 0.0
+    total_area = 0.0
+    for start, end in windows:
+        if end <= start:
+            continue
+        # Value active at window start = last sample at or before it.
+        value = 0
+        for t, v in samples:
+            if t <= start:
+                value = v
+            else:
+                break
+        t_prev = start
+        for t, v in samples:
+            if t <= start:
+                continue
+            if t >= end:
+                break
+            total_area += value * (t - t_prev)
+            t_prev = t
+            value = v
+        total_area += value * (end - t_prev)
+        total_time += end - start
+    return total_area / total_time if total_time else 0.0
+
+
+@dataclass
+class UsageTraceWorkload:
+    """N days of synthetic personal use."""
+
+    days: float = 12.0
+    sessions_per_day: float = 6.0
+    activities_per_session: int = 18
+    seed: int = 3
+    counter: OpCounter = field(default_factory=OpCounter)
+    sessions: list[tuple[float, float]] = field(default_factory=list)
+
+    N_DOC_DIRS = 4
+    DOCS_PER_DIR = 12
+    N_MAIL = 16
+    N_CACHE = 30
+
+    def __post_init__(self) -> None:
+        self.rand = SimRandom(self.seed, "trace")
+
+    def prepare(self, fs: FsInterface) -> Generator:
+        specs = [
+            TreeSpec(f"/home/user/docs/proj{d}", self.DOCS_PER_DIR,
+                     24 * _KB, "doc{:02d}.odt")
+            for d in range(self.N_DOC_DIRS)
+        ]
+        specs.append(TreeSpec("/home/user/mail", self.N_MAIL, 48 * _KB,
+                              "folder{:02d}.mbox"))
+        specs.append(TreeSpec("/home/user/.cache/web", self.N_CACHE, 8 * _KB,
+                              "entry{:03d}.bin"))
+        yield from build_tree(fs, specs, rand=self.rand)
+        return None
+
+    # -- activities --------------------------------------------------------
+    def _edit_document(self, fs: FsInterface) -> Generator:
+        d = self.rand.zipf_index(self.N_DOC_DIRS, skew=1.1)
+        f = self.rand.zipf_index(self.DOCS_PER_DIR, skew=0.9)
+        path = f"/home/user/docs/proj{d}/doc{f:02d}.odt"
+        yield from read_file_chunked(fs, path, self.counter)
+        yield from fs.write(path, 0, self.rand.bytes(64))
+        self.counter.writes += 1
+        return None
+
+    def _read_mail(self, fs: FsInterface) -> Generator:
+        f = self.rand.zipf_index(self.N_MAIL, skew=1.2)
+        path = f"/home/user/mail/folder{f:02d}.mbox"
+        yield from read_file_chunked(fs, path, self.counter)
+        return None
+
+    def _browse_web(self, fs: FsInterface) -> Generator:
+        for _ in range(3):
+            f = self.rand.randint(0, self.N_CACHE - 1)
+            path = f"/home/user/.cache/web/entry{f:03d}.bin"
+            yield from fs.write(path, 0, self.rand.bytes(256))
+            self.counter.writes += 1
+        f = self.rand.randint(0, self.N_CACHE - 1)
+        yield from read_file_chunked(
+            fs, f"/home/user/.cache/web/entry{f:03d}.bin", self.counter
+        )
+        return None
+
+    def _scan_directory(self, fs: FsInterface) -> Generator:
+        d = self.rand.randint(0, self.N_DOC_DIRS - 1)
+        directory = f"/home/user/docs/proj{d}"
+        names = yield from fs.readdir(directory)
+        for name in names:
+            yield from read_file_chunked(fs, f"{directory}/{name}", self.counter)
+        return None
+
+    def _save_new_document(self, fs: FsInterface) -> Generator:
+        d = self.rand.randint(0, self.N_DOC_DIRS - 1)
+        serial = self.counter.creates
+        tmp = f"/home/user/docs/proj{d}/.tmp{serial:05d}"
+        final = f"/home/user/docs/proj{d}/new{serial:05d}.odt"
+        yield from fs.create(tmp)
+        self.counter.creates += 1
+        yield from write_file_chunked(fs, tmp, self.rand.bytes(4096), self.counter)
+        yield from fs.rename(tmp, final)
+        self.counter.renames += 1
+        return None
+
+    _ACTIVITY_WEIGHTS = (
+        ("_edit_document", 5),
+        ("_read_mail", 4),
+        ("_browse_web", 5),
+        ("_scan_directory", 1),
+        ("_save_new_document", 2),
+    )
+
+    def _pick_activity(self) -> str:
+        total = sum(w for _, w in self._ACTIVITY_WEIGHTS)
+        roll = self.rand.uniform(0, total)
+        acc = 0.0
+        for name, weight in self._ACTIVITY_WEIGHTS:
+            acc += weight
+            if roll <= acc:
+                return name
+        return self._ACTIVITY_WEIGHTS[-1][0]
+
+    # -- the trace -----------------------------------------------------------
+    def run(self, fs: FsInterface, sim: Simulation) -> Generator:
+        """Sim-process: run the full multi-day trace."""
+        end_time = sim.now + self.days * DAY
+        mean_gap = DAY / self.sessions_per_day
+        while sim.now < end_time:
+            yield sim.timeout(self.rand.expovariate(1.0 / mean_gap))
+            if sim.now >= end_time:
+                break
+            session_start = sim.now
+            n_activities = max(
+                3, int(self.rand.gauss(self.activities_per_session, 5))
+            )
+            for _ in range(n_activities):
+                activity = self._pick_activity()
+                yield from getattr(self, activity)(fs)
+                # Think time between user actions.
+                yield sim.timeout(self.rand.uniform(2.0, 30.0))
+            self.sessions.append((session_start, sim.now))
+        return self.counter

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "alice_corporate_laptop",
+    "bob_usb_stick",
+    "paired_device_trip",
+    "thief_forensics_deep_dive",
+    "reproduce_figure7",
+]
+
+
+def _load_and_run(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    _load_and_run(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"

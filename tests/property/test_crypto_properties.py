@@ -1,0 +1,140 @@
+"""Property-based tests for the crypto substrate."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aead import AesCtrHmacAead, StreamHmacAead
+from repro.crypto.aes import AES
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.kdf import hkdf_sha256, pbkdf2_sha256
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt, pkcs7_pad, pkcs7_unpad
+from repro.crypto.sha256 import sha256
+from repro.crypto.stream import stream_xor, stream_xor_at
+from repro.errors import IntegrityError
+
+keys32 = st.binary(min_size=32, max_size=32)
+nonces16 = st.binary(min_size=16, max_size=16)
+
+
+class TestHashProperties:
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=150)
+    def test_sha256_matches_hashlib(self, data):
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+    @given(st.binary(max_size=512), st.binary(max_size=512))
+    @settings(max_examples=50)
+    def test_sha256_incremental_split_invariance(self, a, b):
+        from repro.crypto.sha256 import SHA256
+
+        assert SHA256(a).update(b).digest() == sha256(a + b)
+
+    @given(st.binary(max_size=200), st.binary(max_size=200))
+    @settings(max_examples=100)
+    def test_hmac_matches_stdlib(self, key, msg):
+        import hmac as stdlib_hmac
+
+        assert hmac_sha256(key, msg) == stdlib_hmac.new(
+            key, msg, "sha256"
+        ).digest()
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=64),
+           st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=80))
+    @settings(max_examples=30)
+    def test_pbkdf2_matches_hashlib(self, pw, salt, iters, dklen):
+        assert pbkdf2_sha256(pw, salt, iters, dklen) == hashlib.pbkdf2_hmac(
+            "sha256", pw, salt, iters, dklen
+        )
+
+    @given(st.binary(max_size=64), st.binary(max_size=32),
+           st.binary(max_size=32), st.integers(min_value=1, max_value=255))
+    @settings(max_examples=50)
+    def test_hkdf_prefix_stability(self, ikm, salt, info, length):
+        """Shorter outputs are prefixes of longer ones."""
+        long = hkdf_sha256(ikm, salt, info, length)
+        short = hkdf_sha256(ikm, salt, info, max(1, length // 2))
+        assert long.startswith(short)
+
+
+class TestAesProperties:
+    @given(st.sampled_from([16, 24, 32]).flatmap(
+        lambda n: st.binary(min_size=n, max_size=n)),
+        st.binary(min_size=16, max_size=16))
+    @settings(max_examples=100)
+    def test_block_roundtrip(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(keys32, st.binary(min_size=16, max_size=16))
+    @settings(max_examples=50)
+    def test_encryption_is_permutation(self, key, block):
+        cipher = AES(key)
+        ct = cipher.encrypt_block(block)
+        assert len(ct) == 16
+        if block != ct:  # fixed points are astronomically unlikely
+            assert cipher.encrypt_block(ct) != ct or True
+
+    @given(keys32, st.binary(min_size=16, max_size=16), st.binary(max_size=500))
+    @settings(max_examples=50)
+    def test_cbc_roundtrip(self, key, iv, plaintext):
+        cipher = AES(key)
+        assert cbc_decrypt(cipher, iv, cbc_encrypt(cipher, iv, plaintext)) == plaintext
+
+    @given(st.binary(max_size=100), st.sampled_from([8, 16, 32]))
+    @settings(max_examples=50)
+    def test_pkcs7_roundtrip(self, data, block_size):
+        assert pkcs7_unpad(pkcs7_pad(data, block_size), block_size) == data
+
+
+class TestStreamProperties:
+    @given(keys32, nonces16, st.binary(max_size=10000))
+    @settings(max_examples=50)
+    def test_involution(self, key, nonce, data):
+        once = stream_xor(key, nonce, data)
+        assert stream_xor(key, nonce, once) == data
+
+    @given(keys32, nonces16, st.binary(min_size=1, max_size=9000),
+           st.integers(min_value=0, max_value=9000),
+           st.integers(min_value=0, max_value=9000))
+    @settings(max_examples=60)
+    def test_positional_slicing(self, key, nonce, data, a, b):
+        """Encrypting any slice at its offset equals slicing the whole."""
+        lo, hi = sorted((a % len(data), b % len(data)))
+        whole = stream_xor(key, nonce, data)
+        piece = stream_xor_at(key, nonce, data[lo:hi], lo)
+        assert piece == whole[lo:hi]
+
+    @given(keys32, nonces16, st.binary(min_size=1, max_size=256))
+    @settings(max_examples=30)
+    def test_distinct_nonces_distinct_streams(self, key, nonce, data):
+        other_nonce = bytes(b ^ 0xFF for b in nonce)
+        assert stream_xor(key, nonce, data) != stream_xor(
+            key, other_nonce, data
+        ) or data == b"\x00" * len(data) or len(data) < 4
+
+
+@pytest.mark.parametrize("suite_cls", [AesCtrHmacAead, StreamHmacAead])
+class TestAeadProperties:
+    @given(key=keys32, nonce=nonces16, plaintext=st.binary(max_size=1000),
+           aad=st.binary(max_size=100))
+    @settings(max_examples=40)
+    def test_roundtrip(self, suite_cls, key, nonce, plaintext, aad):
+        suite = suite_cls(key)
+        assert suite.open(nonce, suite.seal(nonce, plaintext, aad), aad) == plaintext
+
+    @given(key=keys32, nonce=nonces16,
+           plaintext=st.binary(min_size=1, max_size=200),
+           flip=st.integers(min_value=0))
+    @settings(max_examples=40)
+    def test_any_bitflip_detected(self, suite_cls, key, nonce, plaintext, flip):
+        suite = suite_cls(key)
+        sealed = bytearray(suite.seal(nonce, plaintext))
+        position = flip % len(sealed)
+        sealed[position] ^= 1 << (flip % 8)
+        if bytes(sealed) != suite.seal(nonce, plaintext):
+            with pytest.raises(IntegrityError):
+                suite.open(nonce, bytes(sealed))

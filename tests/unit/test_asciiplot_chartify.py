@@ -1,0 +1,84 @@
+"""Tests for the ASCII chart renderer and the EXPERIMENTS chartifier."""
+
+import pytest
+
+from repro.harness.asciiplot import plot_series
+from repro.harness.chartify import chartify_text, parse_table_block
+from repro.harness.results import ResultTable
+
+
+class TestPlotSeries:
+    def test_basic_render(self):
+        chart = plot_series(
+            {"a": [(1, 1), (10, 5), (100, 10)]},
+            width=40, height=8, logx=True,
+        )
+        assert "*" in chart
+        assert "a" in chart
+        lines = chart.splitlines()
+        assert any("|" in l for l in lines)
+
+    def test_two_series_distinct_symbols(self):
+        chart = plot_series(
+            {"fast": [(1, 1), (100, 1)], "slow": [(1, 10), (100, 100)]},
+            width=40, height=8, logx=True, logy=True,
+        )
+        assert "*" in chart and "o" in chart
+        assert "fast" in chart and "slow" in chart
+
+    def test_axis_labels(self):
+        chart = plot_series(
+            {"s": [(0.1, 1.0), (300.0, 20.0)]},
+            width=40, height=8, logx=True,
+            x_label="rtt_ms", y_label="sec", title="T",
+        )
+        assert "rtt_ms" in chart
+        assert "sec" in chart
+        assert "T" in chart
+        assert "0.1" in chart and "300" in chart
+
+    def test_flat_series_ok(self):
+        chart = plot_series({"flat": [(1, 5), (2, 5), (3, 5)]},
+                            width=20, height=5)
+        assert "*" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plot_series({})
+
+
+class TestChartify:
+    def _fake_doc(self):
+        table = ResultTable(
+            "Figure 10: ratios",
+            ["rtt_ms", "keypad_s", "nfs_s", "encfs_s", "ext3_s",
+             "keypad/nfs", "keypad/encfs", "keypad/ext3"],
+        )
+        table.add(0.1, 83.0, 72.0, 79.9, 62.9, 1.14, 1.04, 1.33)
+        table.add(300.0, 141.0, 5000.0, 79.9, 62.9, 0.03, 1.76, 2.24)
+        return (
+            "## Figure 10: comparison to other file systems\n\n"
+            "blah\n\n```text\n" + table.render() + "\n```\n"
+        )
+
+    def test_parse_table_block(self):
+        doc = self._fake_doc()
+        block = doc.split("```text\n")[1].split("\n```")[0]
+        columns, rows = parse_table_block(block)
+        assert columns[0] == "rtt_ms"
+        assert len(rows) == 2
+        assert rows[1][0] == "300.000"
+
+    def test_chart_inserted(self):
+        out = chartify_text(self._fake_doc())
+        assert "chart: (log x)" in out
+        assert "nfs_s" in out
+
+    def test_idempotent(self):
+        once = chartify_text(self._fake_doc())
+        twice = chartify_text(once)
+        assert once == twice
+
+    def test_untouched_without_matching_sections(self):
+        text = "# nothing relevant here\n"
+        assert chartify_text(text) == text

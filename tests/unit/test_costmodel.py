@@ -1,0 +1,57 @@
+"""Tests for the calibrated cost model."""
+
+import pytest
+
+from repro.costmodel import DEFAULT_COSTS, CostModel
+
+
+class TestCostModel:
+    def test_defaults_match_paper_anchors(self):
+        # Base EncFS read = ext3 read + encfs extra = 0.337 ms.
+        assert (DEFAULT_COSTS.ext3_read + DEFAULT_COSTS.encfs_read_extra
+                ) * 1000 == pytest.approx(0.337, abs=1e-6)
+        assert (DEFAULT_COSTS.ext3_write + DEFAULT_COSTS.encfs_write_extra
+                ) * 1000 == pytest.approx(0.453, abs=1e-6)
+        # IBE encryption cost = Fig. 6(b)'s 25.299 ms label.
+        assert DEFAULT_COSTS.keypad_ibe_encrypt * 1000 == pytest.approx(25.299)
+
+    def test_scaled(self):
+        half = DEFAULT_COSTS.scaled(0.5)
+        assert half.ext3_read == pytest.approx(DEFAULT_COSTS.ext3_read / 2)
+        assert half.keypad_ibe_encrypt == pytest.approx(
+            DEFAULT_COSTS.keypad_ibe_encrypt / 2
+        )
+
+    def test_without_ibe_cost(self):
+        free = DEFAULT_COSTS.without_ibe_cost()
+        assert free.keypad_ibe_encrypt == 0.0
+        assert free.keypad_ibe_decrypt == 0.0
+        assert free.keypad_ibe_extract == 0.0
+        # Everything else is untouched.
+        assert free.ext3_read == DEFAULT_COSTS.ext3_read
+
+    def test_rpc_marshal_scales_with_bytes(self):
+        small = DEFAULT_COSTS.rpc_marshal_time(100)
+        large = DEFAULT_COSTS.rpc_marshal_time(100_000)
+        assert large > small
+        server = DEFAULT_COSTS.rpc_marshal_time(100, server=True)
+        assert server != small  # distinct base constants
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COSTS.ext3_read = 0.0
+
+    def test_custom_model_flows_through_a_rig(self):
+        from repro.harness import build_ext3_rig
+
+        slow = CostModel(ext3_read=1.0)  # one full second per read!
+        rig = build_ext3_rig(costs=slow)
+
+        def proc():
+            yield from rig.fs.create("/f")
+            yield from rig.fs.write("/f", 0, b"x")
+            t0 = rig.sim.now
+            yield from rig.fs.read("/f", 0, 1)
+            return rig.sim.now - t0
+
+        assert rig.run(proc()) >= 1.0

@@ -1,0 +1,306 @@
+"""Tests for the EncFS layer: volume keys, name crypto, stacked FS."""
+
+import pytest
+
+from repro.crypto.stream import stream_xor, stream_xor_at
+from repro.encfs import EncfsFS, Volume
+from repro.errors import CryptoError, FileNotFound
+from repro.sim import Simulation
+from repro.storage import BlockDevice, BufferCache, LocalFileSystem
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulation()
+    device = BlockDevice(sim, n_blocks=8192)
+    cache = BufferCache(sim, device, capacity_blocks=1024)
+    lower = LocalFileSystem(sim, cache)
+    volume = Volume("correct horse battery staple")
+    fs = EncfsFS(sim, lower, volume)
+    return sim, device, lower, volume, fs
+
+
+def run(sim, gen):
+    return sim.run_process(gen)
+
+
+class TestStreamXorAt:
+    KEY = b"k" * 32
+    NONCE = b"n" * 16
+
+    def test_matches_stream_xor_at_zero(self):
+        data = bytes(range(100))
+        assert stream_xor_at(self.KEY, self.NONCE, data, 0) == stream_xor(
+            self.KEY, self.NONCE, data
+        )
+
+    def test_positional_consistency(self):
+        """Encrypting a slice at its offset matches slicing the whole."""
+        data = bytes(i % 251 for i in range(5000))
+        whole = stream_xor(self.KEY, self.NONCE, data)
+        for offset, size in [(0, 10), (31, 33), (32, 64), (1000, 999), (4095, 2)]:
+            piece = stream_xor_at(self.KEY, self.NONCE, data[offset:offset + size], offset)
+            assert piece == whole[offset:offset + size]
+
+    def test_roundtrip(self):
+        ct = stream_xor_at(self.KEY, self.NONCE, b"secret", 12345)
+        assert stream_xor_at(self.KEY, self.NONCE, ct, 12345) == b"secret"
+
+    def test_empty(self):
+        assert stream_xor_at(self.KEY, self.NONCE, b"", 7) == b""
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            stream_xor_at(self.KEY, self.NONCE, b"x", -1)
+
+
+class TestVolume:
+    def test_name_roundtrip(self):
+        vol = Volume("pw")
+        for name in ("taxes_2011.pdf", "a", "ünïcode-nämé", "x" * 200):
+            token = vol.encrypt_name(name)
+            assert token != name
+            assert vol.decrypt_name(token) == name
+
+    def test_name_encryption_deterministic(self):
+        vol = Volume("pw")
+        assert vol.encrypt_name("f") == vol.encrypt_name("f")
+
+    def test_names_differ_across_volumes(self):
+        assert Volume("pw1").encrypt_name("f") != Volume("pw2").encrypt_name("f")
+
+    def test_wrong_volume_rejects_name(self):
+        token = Volume("pw1").encrypt_name("secret-name")
+        with pytest.raises(CryptoError):
+            Volume("pw2").decrypt_name(token)
+
+    def test_tokens_are_filename_safe(self):
+        token = Volume("pw").encrypt_name("some/file? name*")
+        assert "/" not in token
+        assert token == token.lower()
+
+    def test_path_roundtrip(self):
+        vol = Volume("pw")
+        enc = vol.encrypt_path("/home/user/docs")
+        assert enc.count("/") == 3
+        assert vol.decrypt_path(enc) == "/home/user/docs"
+        assert vol.encrypt_path("/") == "/"
+
+    def test_same_password_same_keys(self):
+        assert Volume("pw").header_key == Volume("pw").header_key
+
+    def test_salt_changes_keys(self):
+        assert Volume("pw", b"salt1").header_key != Volume("pw", b"salt2").header_key
+
+
+class TestEncfsFS:
+    def test_write_read_roundtrip(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.create("/doc.txt")
+            yield from fs.write("/doc.txt", 0, b"attorney-client privileged")
+            data = yield from fs.read("/doc.txt", 0, 100)
+            return data
+
+        assert run(sim, proc()) == b"attorney-client privileged"
+
+    def test_read_at_offset(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.create("/f")
+            yield from fs.write("/f", 0, b"0123456789abcdef" * 300)
+            data = yield from fs.read("/f", 4000, 16)
+            return data
+
+        expected = (b"0123456789abcdef" * 300)[4000:4016]
+        assert run(sim, proc()) == expected
+
+    def test_overwrite_at_offset(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.create("/f")
+            yield from fs.write("/f", 0, b"a" * 100)
+            yield from fs.write("/f", 50, b"BBB")
+            data = yield from fs.read_all("/f")
+            return data
+
+        data = run(sim, proc())
+        assert data == b"a" * 50 + b"BBB" + b"a" * 47
+
+    def test_size_excludes_header(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.create("/f")
+            yield from fs.write("/f", 0, b"12345")
+            attr = yield from fs.getattr("/f")
+            return attr.size
+
+        assert run(sim, proc()) == 5
+
+    def test_ciphertext_on_lower_layer(self, rig):
+        sim, _, lower, volume, fs = rig
+        secret = b"SSN: 123-45-6789; diagnosis: confidential"
+
+        def proc():
+            yield from fs.create("/medical.txt")
+            yield from fs.write("/medical.txt", 0, secret)
+            stored_path = volume.encrypt_path("/medical.txt")
+            stored = yield from lower.read_all(stored_path)
+            return stored
+
+        stored = run(sim, proc())
+        assert secret not in stored
+        assert len(stored) == fs.HEADER_LEN + len(secret)
+
+    def test_names_encrypted_on_lower_layer(self, rig):
+        sim, _, lower, _, fs = rig
+
+        def proc():
+            yield from fs.mkdir("/home")
+            yield from fs.create("/home/taxes.pdf")
+            lower_names = yield from lower.readdir("/")
+            upper_names = yield from fs.readdir("/")
+            return lower_names, upper_names
+
+        lower_names, upper_names = run(sim, proc())
+        assert upper_names == ["home"]
+        assert lower_names != ["home"]
+
+    def test_readdir_decrypts(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.mkdir("/d")
+            for name in ("zeta.txt", "alpha.txt", "mid.bin"):
+                yield from fs.create(f"/d/{name}")
+            names = yield from fs.readdir("/d")
+            return names
+
+        assert run(sim, proc()) == ["alpha.txt", "mid.bin", "zeta.txt"]
+
+    def test_rename_preserves_content(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.mkdir("/tmp")
+            yield from fs.mkdir("/docs")
+            yield from fs.create("/tmp/draft")
+            yield from fs.write("/tmp/draft", 0, b"important")
+            yield from fs.rename("/tmp/draft", "/docs/final")
+            data = yield from fs.read_all("/docs/final")
+            return data
+
+        assert run(sim, proc()) == b"important"
+
+    def test_unlink(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.create("/f")
+            yield from fs.unlink("/f")
+            exists = yield from fs.exists("/f")
+            return exists
+
+        assert run(sim, proc()) is False
+
+    def test_truncate(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.create("/f")
+            yield from fs.write("/f", 0, b"0123456789")
+            yield from fs.truncate("/f", 3)
+            data = yield from fs.read_all("/f")
+            return data
+
+        assert run(sim, proc()) == b"012"
+
+    def test_distinct_files_distinct_keystreams(self, rig):
+        sim, _, lower, volume, fs = rig
+
+        def proc():
+            yield from fs.create("/a")
+            yield from fs.create("/b")
+            yield from fs.write("/a", 0, b"same plaintext")
+            yield from fs.write("/b", 0, b"same plaintext")
+            ca = yield from lower.read(volume.encrypt_path("/a"), fs.HEADER_LEN, 14)
+            cb = yield from lower.read(volume.encrypt_path("/b"), fs.HEADER_LEN, 14)
+            return ca, cb
+
+        ca, cb = run(sim, proc())
+        assert ca != cb  # per-file IVs
+
+    def test_read_missing_file(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.read("/ghost", 0, 10)
+
+        with pytest.raises(FileNotFound):
+            run(sim, proc())
+
+    def test_header_survives_cache_eviction(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.create("/f")
+            yield from fs.write("/f", 0, b"payload")
+            fs._header_cache.clear()  # simulate remount / cold cache
+            data = yield from fs.read_all("/f")
+            return data
+
+        assert run(sim, proc()) == b"payload"
+
+    def test_wrong_volume_cannot_read(self, rig):
+        sim, device, lower, volume, fs = rig
+
+        def proc():
+            yield from fs.create("/f")
+            yield from fs.write("/f", 0, b"secret")
+
+        run(sim, proc())
+        # Same lower FS, different password -> header integrity fails.
+        evil = EncfsFS(sim, lower, Volume("wrong password"))
+        evil._enc = fs._enc  # attacker knows the stored names somehow
+
+        def attack():
+            data = yield from evil.read("/f", 0, 6)
+            return data
+
+        with pytest.raises(CryptoError):
+            run(sim, attack())
+
+    def test_xattr_passthrough(self, rig):
+        sim, _, _, _, fs = rig
+
+        def proc():
+            yield from fs.create("/f")
+            yield from fs.set_xattr("/f", "user.class", b"secret")
+            value = yield from fs.get_xattr("/f", "user.class")
+            return value
+
+        assert run(sim, proc()) == b"secret"
+
+    def test_encfs_slower_than_lower(self, rig):
+        """EncFS charges crypto overhead on top of ext3."""
+        sim, _, lower, _, fs = rig
+
+        def proc():
+            yield from fs.create("/f")
+            yield from fs.write("/f", 0, b"x" * 100)
+            t0 = sim.now
+            yield from fs.read("/f", 0, 100)
+            encfs_time = sim.now - t0
+            yield from lower.create("/plain")
+            yield from lower.write("/plain", 0, b"x" * 100)
+            t0 = sim.now
+            yield from lower.read("/plain", 0, 100)
+            ext3_time = sim.now - t0
+            return encfs_time, ext3_time
+
+        encfs_time, ext3_time = run(sim, proc())
+        assert encfs_time > ext3_time
