@@ -17,7 +17,7 @@ compares against the audit report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.errors import ReproError
 from repro.sim import SimRandom

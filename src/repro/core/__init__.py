@@ -5,7 +5,18 @@ prefetcher, the remote audit services, the paired-device extension, and
 the client configuration.
 """
 
-from repro.core.client import DeviceServices
+from repro.core.client import (
+    DeviceServices,
+    DirRegistration,
+    EvictionNotice,
+    FileRegistration,
+    IbeRegistration,
+    KeyCreate,
+    KeyFetch,
+    KeyUpload,
+    ServiceSession,
+    XattrRegistration,
+)
 from repro.core.fs import KeypadFS
 from repro.core.header import (
     KEYPAD_HEADER_LEN,
@@ -39,6 +50,15 @@ __all__ = [
     "KeypadConfig",
     "coverage_for_prefixes",
     "DeviceServices",
+    "ServiceSession",
+    "KeyFetch",
+    "KeyCreate",
+    "KeyUpload",
+    "FileRegistration",
+    "DirRegistration",
+    "IbeRegistration",
+    "XattrRegistration",
+    "EvictionNotice",
     "KeyService",
     "MetadataService",
     "KeyCache",

@@ -1,31 +1,135 @@
 """Device-side access to the audit services.
 
-:class:`DeviceServices` owns the RPC channels from the client device to
-the key service and the metadata service (deliberately separate
-channels — distinct providers see disjoint information, §3.1), and
-optionally routes through a paired phone (§3.5) when one is attached.
+:class:`ServiceSession` is the unified client facade: it owns the RPC
+channels from the client device to the key service and the metadata
+service (deliberately separate channels — distinct providers see
+disjoint information, §3.1), optionally routes through a paired phone
+(§3.5) when one is attached, and layers two flag-gated transport
+optimisations above the channels:
 
-All methods are sim-process generators.
+* **single-flight coalescing** (``coalesce_fetches``): when N sim
+  processes miss on the same audit ID concurrently, one RPC goes out
+  and the rest join its completion event.  Joiners only share a fetch
+  that is genuinely in flight, so every delivered key still has a
+  service log entry inside the current Texp window — the audit
+  invariant (zero false negatives) is preserved.
+* **write-behind batching** (``write_behind``): non-blocking traffic
+  (eviction notices, xattr registrations) is queued and flushed as
+  batch RPCs by a background process, with the original enqueue
+  timestamps carried in the batch payload.
+
+Requests are expressed as typed dataclasses (:class:`KeyFetch`,
+:class:`KeyCreate`, ...).  :class:`DeviceServices` subclasses the
+facade and keeps the original loose method names (``fetch_key``,
+``register_file``, ...) as thin shims for existing callers.
+
+All methods are sim-process generators unless noted otherwise.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from dataclasses import dataclass
+from typing import Generator, Union
 
 from repro.costmodel import DEFAULT_COSTS, CostModel
 from repro.crypto.ibe import IbePrivateKey
 from repro.crypto.ibe.curve import Point
 from repro.crypto.ibe.fp2 import Fp2
+from repro.errors import NetworkUnavailableError, RpcError, ServiceUnavailableError
 from repro.net.link import Link
+from repro.net.metrics import SessionMetrics, merge_channel_metrics
 from repro.net.rpc import RpcChannel
 from repro.sim import Simulation
 from repro.core.services.keyservice import KeyService
 from repro.core.services.metadataservice import MetadataService
 
-__all__ = ["DeviceServices"]
+__all__ = [
+    "ServiceSession",
+    "DeviceServices",
+    "KeyFetch",
+    "KeyCreate",
+    "KeyUpload",
+    "FileRegistration",
+    "DirRegistration",
+    "IbeRegistration",
+    "XattrRegistration",
+    "EvictionNotice",
+]
 
 
-class DeviceServices:
+# -- typed request surface ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KeyFetch:
+    """Fetch the escrowed key for one audit ID (blocking, auditable)."""
+
+    audit_id: bytes
+    kind: str = "fetch"
+
+
+@dataclass(frozen=True)
+class KeyCreate:
+    """Have the key service mint and escrow a fresh key."""
+
+    audit_id: bytes
+
+
+@dataclass(frozen=True)
+class KeyUpload:
+    """Escrow a device-generated key (the IBE create path)."""
+
+    audit_id: bytes
+    key: bytes
+
+
+@dataclass(frozen=True)
+class FileRegistration:
+    """Bind an audit ID to a (directory, name) at the metadata service."""
+
+    audit_id: bytes
+    dir_id: str
+    name: str
+
+
+@dataclass(frozen=True)
+class DirRegistration:
+    """Register a directory under its parent at the metadata service."""
+
+    dir_id: str
+    parent_id: str
+    name: str
+
+
+@dataclass(frozen=True)
+class IbeRegistration:
+    """Register an IBE identity and obtain its private key."""
+
+    identity: bytes
+
+
+@dataclass(frozen=True)
+class XattrRegistration:
+    """Record an extended attribute with the metadata service."""
+
+    audit_id: bytes
+    name: str
+    value: bytes
+
+
+@dataclass(frozen=True)
+class EvictionNotice:
+    """Tell the key service that cached keys were discarded."""
+
+    count: int
+    reason: str
+
+
+#: Requests accepted by :meth:`ServiceSession.enqueue` (write-behind).
+DeferrableRequest = Union[XattrRegistration, EvictionNotice]
+
+
+class ServiceSession:
     """The laptop's window onto the remote audit services."""
 
     def __init__(
@@ -39,6 +143,11 @@ class DeviceServices:
         metadata_link: Link,
         costs: CostModel = DEFAULT_COSTS,
         rekey_interval: float = 100.0,
+        pipelining: bool = False,
+        max_inflight: int = 8,
+        coalesce_fetches: bool = False,
+        write_behind: bool = False,
+        write_behind_interval: float = 1.0,
     ):
         self.sim = sim
         self.device_id = device_id
@@ -49,11 +158,21 @@ class DeviceServices:
         self.key_channel = RpcChannel(
             sim, key_link, key_service.server, device_id, device_secret,
             costs=costs, rekey_interval=rekey_interval,
+            pipelining=pipelining, max_inflight=max_inflight,
         )
         self.metadata_channel = RpcChannel(
             sim, metadata_link, metadata_service.server, device_id,
             device_secret, costs=costs, rekey_interval=rekey_interval,
+            pipelining=pipelining, max_inflight=max_inflight,
         )
+        self.coalesce_fetches = coalesce_fetches
+        self.write_behind = write_behind
+        self.write_behind_interval = write_behind_interval
+        self.metrics = SessionMetrics()
+        # audit_id -> completion Event for the single RPC in flight.
+        self._inflight_fetches: dict[bytes, object] = {}
+        self._wb_queue: list[tuple[float, DeferrableRequest]] = []
+        self._flusher = None
         # When a paired phone is attached, requests route through it.
         self.phone = None  # type: Optional[object]
 
@@ -64,51 +183,299 @@ class DeviceServices:
     def detach_phone(self) -> None:
         self.phone = None
 
-    # -- key service -------------------------------------------------------
-    def fetch_key(self, audit_id: bytes, kind: str = "fetch") -> Generator:
+    # -- introspection -------------------------------------------------------
+
+    def inflight_fetch_ids(self) -> set[bytes]:
+        """Audit IDs with a fetch RPC currently on the wire."""
+        return set(self._inflight_fetches)
+
+    def channel_metrics(self):
+        """Aggregate counters across the key and metadata channels."""
+        return merge_channel_metrics(
+            [self.key_channel.metrics, self.metadata_channel.metrics]
+        )
+
+    def pending_write_behind(self) -> int:
+        return len(self._wb_queue)
+
+    # -- key service ---------------------------------------------------------
+
+    def fetch(self, request: KeyFetch) -> Generator:
+        """Fetch one escrowed key; coalesces with in-flight fetches."""
+        if not self.coalesce_fetches:
+            key = yield from self._fetch_direct(request.audit_id, request.kind)
+            return key
+        pending = self._inflight_fetches.get(request.audit_id)
+        if pending is not None:
+            self.metrics.coalesced_hits += 1
+            key = yield pending
+            if key == b"":
+                # The leader was a batch fetch and the service did not
+                # know this ID; a lone fetch would have faulted.
+                raise RpcError(f"unknown audit ID (coalesced): {request.audit_id!r}")
+            return key
+        done = self.sim.event()
+        self._inflight_fetches[request.audit_id] = done
+        try:
+            key = yield from self._fetch_direct(request.audit_id, request.kind)
+        except BaseException as exc:
+            self._inflight_fetches.pop(request.audit_id, None)
+            if not done.triggered:
+                done.fail(exc)
+            raise
+        self._inflight_fetches.pop(request.audit_id, None)
+        done.succeed(key)
+        return key
+
+    def fetch_many(self, requests: list[KeyFetch]) -> Generator:
+        """Batch fetch; in-flight IDs are joined rather than re-requested.
+
+        Returns keys in request order; unknown IDs come back as ``b""``
+        (the batch-RPC convention), matching ``key.fetch_batch``.
+        """
+        if not requests:
+            return []
+        kind = requests[0].kind
+        if not self.coalesce_fetches:
+            keys = yield from self._fetch_batch_direct(
+                [r.audit_id for r in requests], kind
+            )
+            return keys
+        results: dict[bytes, bytes] = {}
+        joins: list[tuple[bytes, object]] = []
+        to_fetch: list[bytes] = []
+        registered: dict[bytes, object] = {}
+        for request in requests:
+            audit_id = request.audit_id
+            if audit_id in results or audit_id in registered:
+                continue  # duplicate within this batch
+            if any(audit_id == j[0] for j in joins):
+                continue
+            pending = self._inflight_fetches.get(audit_id)
+            if pending is not None:
+                self.metrics.coalesced_batch_hits += 1
+                joins.append((audit_id, pending))
+            else:
+                registered[audit_id] = self.sim.event()
+                self._inflight_fetches[audit_id] = registered[audit_id]
+                to_fetch.append(audit_id)
+        try:
+            keys = []
+            if to_fetch:
+                keys = yield from self._fetch_batch_direct(to_fetch, kind)
+        except BaseException as exc:
+            for audit_id, done in registered.items():
+                self._inflight_fetches.pop(audit_id, None)
+                if not done.triggered:
+                    done.fail(exc)
+            raise
+        for audit_id, key in zip(to_fetch, keys):
+            results[audit_id] = key
+            done = registered[audit_id]
+            self._inflight_fetches.pop(audit_id, None)
+            done.succeed(key)
+        for audit_id, pending in joins:
+            key = yield pending
+            results[audit_id] = key
+        return [results[r.audit_id] for r in requests]
+
+    def create(self, request: KeyCreate) -> Generator:
+        response = yield from self.key_channel.call(
+            "key.create", audit_id=request.audit_id
+        )
+        return response["key"]
+
+    def upload(self, request: KeyUpload) -> Generator:
         if self.phone is not None:
-            key = yield from self.phone.fetch_key(audit_id, kind)
+            yield from self.phone.upload(request)
+            return None
+        yield from self.key_channel.call(
+            "key.put", audit_id=request.audit_id, key=request.key
+        )
+        return None
+
+    def notify(self, request: EvictionNotice) -> Generator:
+        """Blocking eviction notice (the hibernate path)."""
+        yield from self.key_channel.call(
+            "key.evict_notify", count=request.count, reason=request.reason
+        )
+        return None
+
+    def _fetch_direct(self, audit_id: bytes, kind: str) -> Generator:
+        if self.phone is not None:
+            key = yield from self.phone.fetch(KeyFetch(audit_id=audit_id, kind=kind))
             return key
         response = yield from self.key_channel.call(
             "key.fetch", audit_id=audit_id, kind=kind
         )
         return response["key"]
 
-    def fetch_keys(self, audit_ids: list[bytes], kind: str = "prefetch") -> Generator:
+    def _fetch_batch_direct(self, audit_ids: list[bytes], kind: str) -> Generator:
         if self.phone is not None:
-            keys = yield from self.phone.fetch_keys(audit_ids, kind)
+            keys = yield from self.phone.fetch_many(
+                [KeyFetch(audit_id=a, kind=kind) for a in audit_ids]
+            )
             return keys
         response = yield from self.key_channel.call(
             "key.fetch_batch", audit_ids=audit_ids, kind=kind
         )
         return response["keys"]
 
-    def create_key(self, audit_id: bytes) -> Generator:
-        response = yield from self.key_channel.call(
-            "key.create", audit_id=audit_id
+    # -- metadata service ----------------------------------------------------
+
+    def register(self, request) -> Generator:
+        """Dispatch a registration request to the metadata service."""
+        if isinstance(request, FileRegistration):
+            if self.phone is not None:
+                yield from self.phone.register(request)
+                return None
+            yield from self.metadata_channel.call(
+                "meta.register", audit_id=request.audit_id,
+                dir_id=request.dir_id, name=request.name,
+            )
+            return None
+        if isinstance(request, DirRegistration):
+            if self.phone is not None:
+                yield from self.phone.register(request)
+                return None
+            yield from self.metadata_channel.call(
+                "meta.register_dir", dir_id=request.dir_id,
+                parent_id=request.parent_id, name=request.name,
+            )
+            return None
+        if isinstance(request, IbeRegistration):
+            if self.phone is not None:
+                result = yield from self.phone.register(request)
+                return result
+            response = yield from self.metadata_channel.call(
+                "meta.register_ibe", identity=request.identity
+            )
+            return self._private_key_from(response)
+        if isinstance(request, XattrRegistration):
+            yield from self.metadata_channel.call(
+                "meta.register_xattr", audit_id=request.audit_id,
+                name=request.name, value=request.value,
+            )
+            return None
+        raise TypeError(f"not a registration request: {request!r}")
+
+    # -- write-behind --------------------------------------------------------
+
+    def enqueue(self, request: DeferrableRequest) -> None:
+        """Accept a non-blocking request for batched delivery (not a generator).
+
+        Requires ``write_behind=True``; the background flusher wakes
+        every ``write_behind_interval`` sim-seconds and folds queued
+        items into batch RPCs carrying their original timestamps.
+        """
+        if not self.write_behind:
+            raise RpcError("write_behind is disabled for this session")
+        if not isinstance(request, (XattrRegistration, EvictionNotice)):
+            raise TypeError(f"not a deferrable request: {request!r}")
+        self._wb_queue.append((self.sim.now, request))
+        self.metrics.enqueued += 1
+        if self._flusher is None or not self._flusher.alive:
+            self._flusher = self.sim.process(
+                self._flush_loop(), name=f"{self.device_id}-write-behind"
+            )
+
+    def flush(self) -> Generator:
+        """Synchronously drain the write-behind queue (hibernate path)."""
+        yield from self._flush_once()
+        return None
+
+    def _flush_loop(self) -> Generator:
+        while True:
+            yield self.sim.timeout(self.write_behind_interval)
+            if not self._wb_queue:
+                return  # idle: exit; the next enqueue restarts us
+            yield from self._flush_once()
+
+    def _flush_once(self) -> Generator:
+        batch, self._wb_queue = self._wb_queue, []
+        notices = [
+            (ts, r) for ts, r in batch if isinstance(r, EvictionNotice)
+        ]
+        xattrs = [
+            (ts, r) for ts, r in batch if isinstance(r, XattrRegistration)
+        ]
+        if notices:
+            payload = [
+                {"count": r.count, "reason": r.reason, "timestamp": ts}
+                for ts, r in notices
+            ]
+            try:
+                yield from self.key_channel.call(
+                    "key.evict_notify_batch", notices=payload
+                )
+                self.metrics.write_behind_flushes += 1
+                self.metrics.batched_messages += len(notices)
+            except (NetworkUnavailableError, ServiceUnavailableError):
+                self._wb_queue = notices + self._wb_queue
+        if xattrs:
+            payload = [
+                {
+                    "audit_id": r.audit_id,
+                    "name": r.name,
+                    "value": r.value,
+                    "timestamp": ts,
+                }
+                for ts, r in xattrs
+            ]
+            try:
+                yield from self.metadata_channel.call(
+                    "meta.register_xattr_batch", items=payload
+                )
+                self.metrics.write_behind_flushes += 1
+                self.metrics.batched_messages += len(xattrs)
+            except (NetworkUnavailableError, ServiceUnavailableError):
+                self._wb_queue = xattrs + self._wb_queue
+        return None
+
+    def _private_key_from(self, response: dict) -> IbePrivateKey:
+        params = self.metadata_service.pkg.params
+        point = Point(
+            Fp2.from_int(response["point_x"], params.p),
+            Fp2.from_int(response["point_y"], params.p),
         )
-        return response["key"]
+        return IbePrivateKey(identity=response["identity"], point=point)
+
+
+class DeviceServices(ServiceSession):
+    """Back-compat surface: the original loose method names.
+
+    Each shim builds the typed request and delegates to the facade, so
+    existing callers (and the offline-attack tooling) keep working while
+    new code uses :class:`ServiceSession` directly.
+    """
+
+    # -- key service ---------------------------------------------------------
+    def fetch_key(self, audit_id: bytes, kind: str = "fetch") -> Generator:
+        key = yield from self.fetch(KeyFetch(audit_id=audit_id, kind=kind))
+        return key
+
+    def fetch_keys(self, audit_ids: list[bytes], kind: str = "prefetch") -> Generator:
+        keys = yield from self.fetch_many(
+            [KeyFetch(audit_id=a, kind=kind) for a in audit_ids]
+        )
+        return keys
+
+    def create_key(self, audit_id: bytes) -> Generator:
+        key = yield from self.create(KeyCreate(audit_id=audit_id))
+        return key
 
     def put_key(self, audit_id: bytes, key: bytes) -> Generator:
-        if self.phone is not None:
-            yield from self.phone.put_key(audit_id, key)
-            return None
-        yield from self.key_channel.call("key.put", audit_id=audit_id, key=key)
+        yield from self.upload(KeyUpload(audit_id=audit_id, key=key))
         return None
 
     def notify_evictions(self, count: int, reason: str) -> Generator:
-        yield from self.key_channel.call(
-            "key.evict_notify", count=count, reason=reason
-        )
+        yield from self.notify(EvictionNotice(count=count, reason=reason))
         return None
 
     # -- metadata service -----------------------------------------------------
     def register_file(self, audit_id: bytes, dir_id: str, name: str) -> Generator:
-        if self.phone is not None:
-            yield from self.phone.register_file(audit_id, dir_id, name)
-            return None
-        yield from self.metadata_channel.call(
-            "meta.register", audit_id=audit_id, dir_id=dir_id, name=name
+        yield from self.register(
+            FileRegistration(audit_id=audit_id, dir_id=dir_id, name=name)
         )
         return None
 
@@ -119,34 +486,18 @@ class DeviceServices:
         durably deferred the registration (the caller then unlocks from
         its cached wrapped key instead of via IBE decryption).
         """
-        if self.phone is not None:
-            result = yield from self.phone.register_file_ibe(identity)
-            return result
-        response = yield from self.metadata_channel.call(
-            "meta.register_ibe", identity=identity
-        )
-        return self._private_key_from(response)
+        result = yield from self.register(IbeRegistration(identity=identity))
+        return result
 
     def register_dir(self, dir_id: str, parent_id: str, name: str) -> Generator:
-        if self.phone is not None:
-            yield from self.phone.register_dir(dir_id, parent_id, name)
-            return None
-        yield from self.metadata_channel.call(
-            "meta.register_dir", dir_id=dir_id, parent_id=parent_id, name=name
+        yield from self.register(
+            DirRegistration(dir_id=dir_id, parent_id=parent_id, name=name)
         )
         return None
 
     def register_xattr(self, audit_id: bytes, name: str, value: bytes) -> Generator:
         """Extension: xattr metadata registration (direct channel)."""
-        yield from self.metadata_channel.call(
-            "meta.register_xattr", audit_id=audit_id, name=name, value=value
+        yield from self.register(
+            XattrRegistration(audit_id=audit_id, name=name, value=value)
         )
         return None
-
-    def _private_key_from(self, response: dict) -> IbePrivateKey:
-        params = self.metadata_service.pkg.params
-        point = Point(
-            Fp2.from_int(response["point_x"], params.p),
-            Fp2.from_int(response["point_y"], params.p),
-        )
-        return IbePrivateKey(identity=response["identity"], point=point)

@@ -30,7 +30,6 @@ from repro.crypto.ibe import decrypt as ibe_decrypt
 from repro.encfs.fs import StackedCryptFs
 from repro.encfs.volume import Volume
 from repro.errors import (
-    FileNotFound,
     KeypadError,
     LockedFileError,
     NetworkUnavailableError,
@@ -39,7 +38,17 @@ from repro.errors import (
 from repro.sim import Simulation
 from repro.storage.fsiface import FsInterface
 from repro.util.paths import basename, normalize, parent_of
-from repro.core.client import DeviceServices
+from repro.core.client import (
+    DirRegistration,
+    EvictionNotice,
+    FileRegistration,
+    IbeRegistration,
+    KeyCreate,
+    KeyFetch,
+    KeyUpload,
+    ServiceSession,
+    XattrRegistration,
+)
 from repro.core.header import (
     AUDIT_ID_LEN,
     DATA_KEY_LEN,
@@ -52,7 +61,7 @@ from repro.core.header import (
 )
 from repro.core.keycache import KeyCache
 from repro.core.policy import KeypadConfig
-from repro.core.prefetch import make_policy
+from repro.core.prefetch import filter_inflight, make_policy
 from repro.core.services.metadataservice import ROOT_DIR_ID, identity_string
 
 __all__ = ["KeypadFS"]
@@ -89,7 +98,7 @@ class KeypadFS(StackedCryptFs):
         sim: Simulation,
         lower: FsInterface,
         volume: Volume,
-        services: DeviceServices,
+        services: ServiceSession,
         config: KeypadConfig = KeypadConfig(),
         costs: CostModel = DEFAULT_COSTS,
         drbg_seed: bytes = b"keypad-device",
@@ -100,7 +109,11 @@ class KeypadFS(StackedCryptFs):
         self.services = services
         self.config = config
         self.is_protected = config.coverage()
-        self.key_cache = KeyCache(sim, refresh_fn=self._refresh_key)
+        self.key_cache = KeyCache(
+            sim,
+            refresh_fn=self._refresh_key,
+            on_evict=self._note_eviction if services.write_behind else None,
+        )
         self.prefetch_policy = make_policy(config.prefetch)
         self.ibe_params = services.metadata_service.pkg.params
         self.ibe_public = services.metadata_service.pkg.public(
@@ -178,7 +191,9 @@ class KeypadFS(StackedCryptFs):
         self._dir_ids[dir_path] = dir_id
         self.stats["blocking_metadata_ops"] += 1
         name = "/" if dir_path == "/" else basename(dir_path)
-        yield from self.services.register_dir(dir_id, parent_id, name)
+        yield from self.services.register(
+            DirRegistration(dir_id=dir_id, parent_id=parent_id, name=name)
+        )
         return dir_id
 
     # ------------------------------------------------------------------
@@ -202,8 +217,11 @@ class KeypadFS(StackedCryptFs):
     # Key acquisition: the heart of the audit protocol.
     # ------------------------------------------------------------------
     def _refresh_key(self, audit_id: bytes) -> Generator:
-        key = yield from self.services.fetch_key(audit_id, kind="refresh")
+        key = yield from self.services.fetch(KeyFetch(audit_id, kind="refresh"))
         return key
+
+    def _note_eviction(self, audit_id: bytes, reason: str) -> None:
+        self.services.enqueue(EvictionNotice(count=1, reason=reason))
 
     def _content_key(self, path: str, parsed: Any, write: bool) -> Generator:
         header: KeypadHeader = parsed
@@ -237,7 +255,7 @@ class KeypadFS(StackedCryptFs):
                 if h.protected and h.audit_id != audit_id
                 and parent_of(p) == directory and not h.locked
             ][:32]
-        remote_key = yield from self.services.fetch_key(audit_id)
+        remote_key = yield from self.services.fetch(KeyFetch(audit_id))
         yield self.sim.timeout(self.costs.keypad_header_crypt)
         data_key = unwrap_data_key(header.wrapped_kd, remote_key)
         self.key_cache.put(audit_id, remote_key, data_key, texp=self.config.texp)
@@ -269,7 +287,9 @@ class KeypadFS(StackedCryptFs):
         correct identity (path + audit ID) to the metadata service.
         """
         self.stats["blocking_unlocks"] += 1
-        private_key = yield from self.services.register_file_ibe(header.identity)
+        private_key = yield from self.services.register(
+            IbeRegistration(identity=header.identity)
+        )
         if private_key is None:
             raise LockedFileError(
                 f"{path}: paired device deferred the registration; "
@@ -344,8 +364,16 @@ class KeypadFS(StackedCryptFs):
         return None
 
     def _prefetch_fetch(self, candidates: list) -> Generator:
-        audit_ids = [h.audit_id for _, h in candidates]
-        keys = yield from self.services.fetch_keys(audit_ids, kind="prefetch")
+        # IDs already being fetched by a concurrent process will land in
+        # the cache anyway; don't spend batch slots on them.
+        candidates = filter_inflight(
+            candidates, self.services.inflight_fetch_ids()
+        )
+        if not candidates:
+            return None
+        keys = yield from self.services.fetch_many(
+            [KeyFetch(h.audit_id, kind="prefetch") for _, h in candidates]
+        )
         self.stats["prefetch_batches"] += 1
         for (child, child_header), remote_key in zip(candidates, keys):
             if not remote_key:
@@ -399,10 +427,12 @@ class KeypadFS(StackedCryptFs):
         it allows access to the new file")."""
         self.stats["blocking_metadata_ops"] += 1
         key_proc = self.sim.process(
-            self.services.create_key(audit_id), name="create-key"
+            self.services.create(KeyCreate(audit_id=audit_id)), name="create-key"
         )
         meta_proc = self.sim.process(
-            self.services.register_file(audit_id, dir_id, name),
+            self.services.register(
+                FileRegistration(audit_id=audit_id, dir_id=dir_id, name=name)
+            ),
             name="create-meta",
         )
         results = yield self.sim.all_of([key_proc, meta_proc])
@@ -485,7 +515,11 @@ class KeypadFS(StackedCryptFs):
             yield from self.lower.rename(self._enc(old), self._enc(new))
             self._move_header(old, new)
             self.stats["blocking_metadata_ops"] += 1
-            yield from self.services.register_file(header.audit_id, dir_id, name)
+            yield from self.services.register(
+                FileRegistration(
+                    audit_id=header.audit_id, dir_id=dir_id, name=name
+                )
+            )
         return None
 
     def _relock_pending(
@@ -545,7 +579,11 @@ class KeypadFS(StackedCryptFs):
             # prototype ("it does not apply it to directory metadata
             # operations"), so this blocks on the service.
             self.stats["blocking_metadata_ops"] += 1
-            yield from self.services.register_dir(dir_id, parent_id, basename(new))
+            yield from self.services.register(
+                DirRegistration(
+                    dir_id=dir_id, parent_id=parent_id, name=basename(new)
+                )
+            )
         return None
 
     def _move_subtree(self, old: str, new: str) -> None:
@@ -603,12 +641,14 @@ class KeypadFS(StackedCryptFs):
         while True:
             try:
                 if pending.upload_key is not None:
-                    yield from self.services.put_key(
-                        audit_id, pending.upload_key
+                    yield from self.services.upload(
+                        KeyUpload(audit_id=audit_id, key=pending.upload_key)
                     )
                     pending.upload_key = None
                 identity = pending.identity
-                yield from self.services.register_file_ibe(identity)
+                yield from self.services.register(
+                    IbeRegistration(identity=identity)
+                )
                 if identity == pending.identity:
                     break
                 # Superseded by a rename while the RPC was in flight:
@@ -680,8 +720,10 @@ class KeypadFS(StackedCryptFs):
                 )
             else:
                 self.stats["blocking_metadata_ops"] += 1
-                yield from self.services.register_dir(
-                    dir_id, parent_id, basename(path)
+                yield from self.services.register(
+                    DirRegistration(
+                        dir_id=dir_id, parent_id=parent_id, name=basename(path)
+                    )
                 )
         return None
 
@@ -691,7 +733,11 @@ class KeypadFS(StackedCryptFs):
         attempts = 0
         while True:
             try:
-                yield from self.services.register_dir(dir_id, parent_id, name)
+                yield from self.services.register(
+                    DirRegistration(
+                        dir_id=dir_id, parent_id=parent_id, name=name
+                    )
+                )
                 break
             except (NetworkUnavailableError, KeypadError):
                 attempts += 1
@@ -732,10 +778,17 @@ class KeypadFS(StackedCryptFs):
         if self.config.track_xattrs:
             header = yield from self._header(path)
             if header.protected:
-                self.stats["blocking_metadata_ops"] += 1
-                yield from self.services.register_xattr(
-                    header.audit_id, name, value
+                request = XattrRegistration(
+                    audit_id=header.audit_id, name=name, value=value
                 )
+                if self.services.write_behind:
+                    # Xattr registrations need not block the caller;
+                    # the session flushes them in batches.
+                    self.stats["async_metadata_ops"] += 1
+                    self.services.enqueue(request)
+                else:
+                    self.stats["blocking_metadata_ops"] += 1
+                    yield from self.services.register(request)
         return None
 
     # ------------------------------------------------------------------
@@ -765,8 +818,8 @@ class KeypadFS(StackedCryptFs):
             candidates.append((path, header))
         if not candidates:
             return 0
-        keys = yield from self.services.fetch_keys(
-            [h.audit_id for _, h in candidates], kind="profile-prefetch"
+        keys = yield from self.services.fetch_many(
+            [KeyFetch(h.audit_id, kind="profile-prefetch") for _, h in candidates]
         )
         fetched = 0
         for (_path, header), remote_key in zip(candidates, keys):
@@ -793,7 +846,13 @@ class KeypadFS(StackedCryptFs):
         """
         count = self.key_cache.evict_all()
         try:
-            yield from self.services.notify_evictions(count, "hibernate")
+            if self.services.write_behind:
+                # Drain deferred traffic before sleeping: the notice
+                # must not sit in a queue on a powered-down device.
+                yield from self.services.flush()
+            yield from self.services.notify(
+                EvictionNotice(count=count, reason="hibernate")
+            )
         except (NetworkUnavailableError, KeypadError):
             pass
         return None

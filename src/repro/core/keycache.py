@@ -81,11 +81,17 @@ class KeyCache:
         sim: Simulation,
         refresh_fn: Optional[Callable[[bytes], Generator]] = None,
         refresh_lead: float = 2.0,
+        on_evict: Optional[Callable[[bytes, str], None]] = None,
     ):
         self.sim = sim
         # refresh_fn(audit_id) -> generator returning the new K_R, or
         # raising; wired to the device's key-service client.
         self.refresh_fn = refresh_fn
+        # on_evict(audit_id, reason): synchronous hook fired when the
+        # purge thread expires an entry (§6 asks for evictions to be
+        # recorded on the audit servers; the session's write-behind
+        # queue carries the notice without blocking the purge).
+        self.on_evict = on_evict
         # The purge thread starts an in-use refresh this long before
         # expiry, so the response normally "arrives before the key
         # expires" and long accesses (movie playback) never hiccup.
@@ -243,6 +249,8 @@ class KeyCache:
             return
         self.expirations += 1
         self.evict(audit_id)
+        if self.on_evict is not None:
+            self.on_evict(audit_id, "expired")
 
     def _refresh(self, entry: CacheEntry) -> Generator:
         """Re-fetch an in-use key, re-logging the access on the service."""
@@ -253,6 +261,8 @@ class KeyCache:
         except (NetworkUnavailableError, KeypadError):
             self.expirations += 1
             self.evict(audit_id)
+            if self.on_evict is not None:
+                self.on_evict(audit_id, "refresh-failed")
             return None
         if self._entries.get(audit_id) is entry:
             entry.generation = self._next_generation()

@@ -30,6 +30,13 @@ from repro.errors import NetworkUnavailableError, RpcError, ServiceUnavailableEr
 from repro.net.link import Link
 from repro.net.rpc import RpcChannel, RpcServer
 from repro.sim import Simulation
+from repro.core.client import (
+    DirRegistration,
+    FileRegistration,
+    IbeRegistration,
+    KeyFetch,
+    KeyUpload,
+)
 from repro.core.services.keyservice import KeyService
 from repro.core.services.metadataservice import MetadataService
 
@@ -51,6 +58,8 @@ class PairedPhone:
         costs: CostModel = DEFAULT_COSTS,
         hoard_texp: float = 600.0,
         flush_interval: float = 10.0,
+        pipelining: bool = False,
+        max_inflight: int = 8,
     ):
         self.sim = sim
         self.phone_id = phone_id
@@ -63,11 +72,13 @@ class PairedPhone:
         self.key_uplink = key_uplink
         self.metadata_uplink = metadata_uplink
         self._key_channel = RpcChannel(
-            sim, key_uplink, key_service.server, phone_id, phone_secret, costs
+            sim, key_uplink, key_service.server, phone_id, phone_secret, costs,
+            pipelining=pipelining, max_inflight=max_inflight,
         )
         self._meta_channel = RpcChannel(
             sim, metadata_uplink, metadata_service.server, phone_id,
             phone_secret, costs,
+            pipelining=pipelining, max_inflight=max_inflight,
         )
 
         # The phone's own RPC endpoint (laptop connects over Bluetooth).
@@ -280,7 +291,10 @@ class PairedPhone:
 
 
 class PhoneProxy:
-    """Laptop-side stub: routes DeviceServices traffic over Bluetooth."""
+    """Laptop-side stub: routes :class:`ServiceSession` traffic over
+    Bluetooth.  Exposes the same typed request surface as the session
+    (``fetch``/``fetch_many``/``upload``/``register``), with the
+    original loose method names kept as shims."""
 
     def __init__(
         self,
@@ -291,58 +305,102 @@ class PhoneProxy:
         device_secret: bytes,
         costs: CostModel = DEFAULT_COSTS,
         ibe_params=None,
+        pipelining: bool = False,
+        max_inflight: int = 8,
     ):
         phone.server.enroll_device(device_id, device_secret)
         self.sim = sim
         self.phone = phone
         self.channel = RpcChannel(
-            sim, bluetooth_link, phone.server, device_id, device_secret, costs
+            sim, bluetooth_link, phone.server, device_id, device_secret, costs,
+            pipelining=pipelining, max_inflight=max_inflight,
         )
         self._ibe_params = ibe_params or phone.metadata_service.pkg.params
         # Directory hint support: the FS sets this before a fetch so
         # the phone can prefetch related keys.
         self.related_hint: list[bytes] = []
 
-    def fetch_key(self, audit_id: bytes, kind: str = "fetch") -> Generator:
+    # -- typed surface -------------------------------------------------------
+
+    def fetch(self, request: KeyFetch) -> Generator:
         hint, self.related_hint = self.related_hint, []
         response = yield from self.channel.call(
-            "phone.fetch_key", audit_id=audit_id, kind=kind, related_ids=hint
+            "phone.fetch_key", audit_id=request.audit_id, kind=request.kind,
+            related_ids=hint,
         )
         return response["key"]
 
-    def fetch_keys(self, audit_ids: list[bytes], kind: str = "prefetch") -> Generator:
+    def fetch_many(self, requests: list[KeyFetch]) -> Generator:
+        kind = requests[0].kind if requests else "prefetch"
         response = yield from self.channel.call(
-            "phone.fetch_keys", audit_ids=audit_ids, kind=kind
+            "phone.fetch_keys",
+            audit_ids=[r.audit_id for r in requests], kind=kind,
         )
         return response["keys"]
 
+    def upload(self, request: KeyUpload) -> Generator:
+        yield from self.channel.call(
+            "phone.put_key", audit_id=request.audit_id, key=request.key
+        )
+        return None
+
+    def register(self, request) -> Generator:
+        if isinstance(request, FileRegistration):
+            yield from self.channel.call(
+                "phone.register_file", audit_id=request.audit_id,
+                dir_id=request.dir_id, name=request.name,
+            )
+            return None
+        if isinstance(request, DirRegistration):
+            yield from self.channel.call(
+                "phone.register_dir", dir_id=request.dir_id,
+                parent_id=request.parent_id, name=request.name,
+            )
+            return None
+        if isinstance(request, IbeRegistration):
+            response = yield from self.channel.call(
+                "phone.register_file_ibe", identity=request.identity
+            )
+            if response.get("deferred"):
+                return None
+            params = self._ibe_params
+            return IbePrivateKey(
+                identity=response["identity"],
+                point=Point(
+                    Fp2.from_int(response["point_x"], params.p),
+                    Fp2.from_int(response["point_y"], params.p),
+                ),
+            )
+        raise TypeError(f"not a phone-routable registration: {request!r}")
+
+    # -- back-compat shims ---------------------------------------------------
+
+    def fetch_key(self, audit_id: bytes, kind: str = "fetch") -> Generator:
+        key = yield from self.fetch(KeyFetch(audit_id=audit_id, kind=kind))
+        return key
+
+    def fetch_keys(self, audit_ids: list[bytes], kind: str = "prefetch") -> Generator:
+        keys = yield from self.fetch_many(
+            [KeyFetch(audit_id=a, kind=kind) for a in audit_ids]
+        )
+        return keys
+
     def put_key(self, audit_id: bytes, key: bytes) -> Generator:
-        yield from self.channel.call("phone.put_key", audit_id=audit_id, key=key)
+        yield from self.upload(KeyUpload(audit_id=audit_id, key=key))
         return None
 
     def register_file(self, audit_id: bytes, dir_id: str, name: str) -> Generator:
-        yield from self.channel.call(
-            "phone.register_file", audit_id=audit_id, dir_id=dir_id, name=name
+        yield from self.register(
+            FileRegistration(audit_id=audit_id, dir_id=dir_id, name=name)
         )
         return None
 
     def register_file_ibe(self, identity: bytes) -> Generator:
-        response = yield from self.channel.call(
-            "phone.register_file_ibe", identity=identity
-        )
-        if response.get("deferred"):
-            return None
-        params = self._ibe_params
-        return IbePrivateKey(
-            identity=response["identity"],
-            point=Point(
-                Fp2.from_int(response["point_x"], params.p),
-                Fp2.from_int(response["point_y"], params.p),
-            ),
-        )
+        result = yield from self.register(IbeRegistration(identity=identity))
+        return result
 
     def register_dir(self, dir_id: str, parent_id: str, name: str) -> Generator:
-        yield from self.channel.call(
-            "phone.register_dir", dir_id=dir_id, parent_id=parent_id, name=name
+        yield from self.register(
+            DirRegistration(dir_id=dir_id, parent_id=parent_id, name=name)
         )
         return None

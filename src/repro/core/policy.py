@@ -8,7 +8,7 @@ coverage domain (§3.6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
 from repro.util.paths import is_ancestor, normalize
@@ -68,6 +68,19 @@ class KeypadConfig:
     # ("Handling updates for other types of file metadata functions
     # (such as setfattr) works similarly").
     track_xattrs: bool = False
+    # --- transport extensions (all off by default so the paper's
+    # figures reproduce unchanged; see docs/PROTOCOL.md) ---
+    # Protocol-v2 pipelining: multiple in-flight RPCs per channel.
+    pipelining: bool = False
+    # Bound on concurrently outstanding requests per channel.
+    max_inflight: int = 8
+    # Single-flight coalescing of concurrent same-audit-ID fetches.
+    coalesce_fetches: bool = False
+    # Write-behind batching of eviction notices / xattr registrations.
+    write_behind: bool = False
+    write_behind_interval: float = 1.0
+    # Key-service escrow-map/log shards (1 = the paper's single queue).
+    key_shards: int = 1
 
     def coverage(self) -> Callable[[str], bool]:
         return coverage_for_prefixes(self.protected_prefixes)
@@ -80,3 +93,21 @@ class KeypadConfig:
 
     def with_ibe(self, enabled: bool) -> "KeypadConfig":
         return replace(self, ibe_enabled=enabled)
+
+    def with_fast_transport(
+        self, key_shards: int = 4, max_inflight: int = 32
+    ) -> "KeypadConfig":
+        """All transport optimisations on (the ablation's 'fast' arm).
+
+        The window default is generous: the seed's serial mode places no
+        bound on concurrent calls, so a tight window would *add* queuing
+        that the paper's prototype never had.
+        """
+        return replace(
+            self,
+            pipelining=True,
+            max_inflight=max_inflight,
+            coalesce_fetches=True,
+            write_behind=True,
+            key_shards=key_shards,
+        )

@@ -23,6 +23,7 @@ __all__ = [
     "DirectoryPrefetch",
     "RandomPrefetch",
     "make_policy",
+    "filter_inflight",
 ]
 
 
@@ -122,6 +123,23 @@ def make_policy(spec: str) -> PrefetchPolicy:
     if kind == "random":
         return RandomPrefetch(sample_count=int(arg or 4))
     raise ValueError(f"unknown prefetch policy spec {spec!r}")
+
+
+def filter_inflight(candidates: list, inflight_ids: set) -> list:
+    """Drop prefetch candidates whose keys are already being fetched.
+
+    ``candidates`` are ``(path, header)`` pairs; a concurrent process's
+    in-flight fetch (see :meth:`ServiceSession.inflight_fetch_ids`)
+    will populate the cache anyway, so spending a batch slot on the
+    same audit ID is pure waste.
+    """
+    if not inflight_ids:
+        return candidates
+    return [
+        (path, header)
+        for path, header in candidates
+        if header.audit_id not in inflight_ids
+    ]
 
 
 def choose_sample(

@@ -1,7 +1,7 @@
 """The remote audit services: key service and metadata service (PKG)."""
 
 from repro.core.services.keyservice import AUDIT_ID_LEN, KeyService
-from repro.core.services.logstore import AppendOnlyLog, LogEntry
+from repro.core.services.logstore import AppendOnlyLog, LogEntry, ShardedLog
 from repro.core.services.metadataservice import (
     ROOT_DIR_ID,
     MetadataService,
@@ -13,6 +13,7 @@ __all__ = [
     "KeyService",
     "MetadataService",
     "AppendOnlyLog",
+    "ShardedLog",
     "LogEntry",
     "AUDIT_ID_LEN",
     "ROOT_DIR_ID",

@@ -9,6 +9,13 @@ the privacy rationale for splitting it from the metadata service.
 Remote control (§2, §6): keys are identified per device, so reporting a
 device missing revokes every key it owns; subsequent fetches fail with
 :class:`RevokedError` and are themselves logged.
+
+Sharding (``shards > 1``): the escrow map and the access log are split
+by audit-ID prefix, each shard with its own FIFO queue (a cooperative
+:class:`~repro.sim.Lock`), so a batched fetch fans out one worker per
+shard and the durable-log/lookup time is the *maximum* over shards
+rather than the sum.  ``shards=1`` (the default) keeps the original
+single-map, single-chain code path byte-for-byte.
 """
 
 from __future__ import annotations
@@ -19,8 +26,8 @@ from repro.costmodel import DEFAULT_COSTS, CostModel
 from repro.crypto.drbg import HmacDrbg
 from repro.errors import RevokedError, RpcError
 from repro.net.rpc import RpcServer
-from repro.sim import Simulation
-from repro.core.services.logstore import AppendOnlyLog, LogEntry
+from repro.sim import Lock, Simulation
+from repro.core.services.logstore import AppendOnlyLog, LogEntry, ShardedLog
 
 __all__ = ["KeyService", "AUDIT_ID_LEN", "REMOTE_KEY_LEN"]
 
@@ -37,22 +44,63 @@ class KeyService:
         costs: CostModel = DEFAULT_COSTS,
         seed: bytes = b"key-service",
         name: str = "key-service",
+        shards: int = 1,
     ):
+        if shards < 1:
+            raise ValueError("key service needs at least one shard")
         self.sim = sim
         self.costs = costs
+        self.shards = shards
         self.server = RpcServer(sim, name, costs)
         self._drbg = HmacDrbg(seed, b"remote-keys")
-        self._keys: dict[bytes, bytes] = {}
+        self._key_shards: list[dict[bytes, bytes]] = [
+            {} for _ in range(shards)
+        ]
         self._owner: dict[bytes, str] = {}
         self._revoked_devices: set[str] = set()
-        self.access_log = AppendOnlyLog(name="key-access")
+        if shards == 1:
+            self._shard_locks: Optional[list[Lock]] = None
+            self.access_log = AppendOnlyLog(name="key-access")
+        else:
+            self._shard_locks = [Lock(sim) for _ in range(shards)]
+            self.access_log = ShardedLog(
+                name="key-access", shards=shards, router=self._route_record
+            )
 
         self.server.register("key.create", self._handle_create)
         self.server.register("key.put", self._handle_put)
         self.server.register("key.fetch", self._handle_fetch)
         self.server.register("key.fetch_batch", self._handle_fetch_batch)
         self.server.register("key.evict_notify", self._handle_evict_notify)
+        self.server.register("key.evict_notify_batch",
+                             self._handle_evict_notify_batch)
         self.server.register("key.report_batch", self._handle_report_batch)
+
+    # -- sharding -----------------------------------------------------------
+    def _shard_of(self, audit_id: bytes) -> int:
+        """Audit-ID-prefix routing (IDs are uniformly random, §3.1)."""
+        return audit_id[0] % self.shards if audit_id else 0
+
+    def _shard_map(self, audit_id: bytes) -> dict[bytes, bytes]:
+        return self._key_shards[self._shard_of(audit_id)]
+
+    def _route_record(self, device_id: str, kind: str, fields: dict) -> int:
+        audit_id = fields.get("audit_id")
+        if isinstance(audit_id, (bytes, bytearray)) and audit_id:
+            return self._shard_of(bytes(audit_id))
+        # Non-key records (revocations, evictions) ride on a stable
+        # device-derived shard.
+        return device_id.encode()[0] if device_id else 0
+
+    def _shard_queue(self, shard: int) -> Generator:
+        """Enter a shard's FIFO queue (no-op with a single shard)."""
+        if self._shard_locks is not None:
+            yield from self._shard_locks[shard].acquire()
+        return None
+
+    def _shard_release(self, shard: int) -> None:
+        if self._shard_locks is not None:
+            self._shard_locks[shard].release()
 
     # -- administration (out of band, by the victim / IT department) -------
     def revoke_device(self, device_id: str) -> None:
@@ -82,14 +130,22 @@ class KeyService:
         audit_id = payload["audit_id"]
         if len(audit_id) != AUDIT_ID_LEN:
             raise RpcError("malformed audit ID")
-        if audit_id in self._keys:
+        shard = self._shard_of(audit_id)
+        keys = self._key_shards[shard]
+        if audit_id in keys:
             raise RpcError("audit ID already bound")
         key = self._drbg.generate(REMOTE_KEY_LEN)
-        # Durable log BEFORE replying.
-        yield self.sim.timeout(self.costs.service_log_append)
-        self.access_log.append(self.sim.now, device_id, "create", audit_id=audit_id)
-        self._keys[audit_id] = key
-        self._owner[audit_id] = device_id
+        yield from self._shard_queue(shard)
+        try:
+            # Durable log BEFORE replying.
+            yield self.sim.timeout(self.costs.service_log_append)
+            self.access_log.append(
+                self.sim.now, device_id, "create", audit_id=audit_id
+            )
+            keys[audit_id] = key
+            self._owner[audit_id] = device_id
+        finally:
+            self._shard_release(shard)
         return {"key": key}
 
     def _handle_put(self, device_id: str, payload: dict) -> Generator:
@@ -103,17 +159,25 @@ class KeyService:
         key = payload["key"]
         if len(audit_id) != AUDIT_ID_LEN or len(key) != REMOTE_KEY_LEN:
             raise RpcError("malformed key upload")
-        existing = self._keys.get(audit_id)
+        shard = self._shard_of(audit_id)
+        keys = self._key_shards[shard]
+        existing = keys.get(audit_id)
         if existing is not None and existing != key:
             raise RpcError("audit ID already bound to a different key")
-        yield self.sim.timeout(self.costs.service_log_append)
-        self.access_log.append(self.sim.now, device_id, "create", audit_id=audit_id)
-        self._keys[audit_id] = key
-        self._owner[audit_id] = device_id
+        yield from self._shard_queue(shard)
+        try:
+            yield self.sim.timeout(self.costs.service_log_append)
+            self.access_log.append(
+                self.sim.now, device_id, "create", audit_id=audit_id
+            )
+            keys[audit_id] = key
+            self._owner[audit_id] = device_id
+        finally:
+            self._shard_release(shard)
         return {"ok": True}
 
     def _fetch_one(self, device_id: str, audit_id: bytes, kind: str) -> bytes:
-        key = self._keys.get(audit_id)
+        key = self._shard_map(audit_id).get(audit_id)
         if key is None:
             raise RpcError("unknown audit ID")
         self.access_log.append(self.sim.now, device_id, kind, audit_id=audit_id)
@@ -124,29 +188,72 @@ class KeyService:
         self._check_revoked(device_id)
         audit_id = payload["audit_id"]
         kind = payload.get("kind", "fetch")
-        yield self.sim.timeout(self.costs.service_log_append)
-        yield self.sim.timeout(self.costs.service_key_lookup)
-        key = self._fetch_one(device_id, audit_id, kind)
+        shard = self._shard_of(audit_id)
+        yield from self._shard_queue(shard)
+        try:
+            yield self.sim.timeout(self.costs.service_log_append)
+            yield self.sim.timeout(self.costs.service_key_lookup)
+            key = self._fetch_one(device_id, audit_id, kind)
+        finally:
+            self._shard_release(shard)
         return {"key": key}
 
     def _handle_fetch_batch(self, device_id: str, payload: dict) -> Generator:
         """Batched fetch used by directory-key prefetching.
 
         Every returned key is individually logged (prefetch entries are
-        the audit log's false positives, §5.2).
+        the audit log's false positives, §5.2).  With multiple shards
+        the batch fans out one worker per shard, so the service time is
+        the slowest shard, not the sum of all lookups.
         """
         self._check_revoked(device_id)
         audit_ids = payload["audit_ids"]
         kind = payload.get("kind", "prefetch")
-        yield self.sim.timeout(self.costs.service_log_append)
-        keys = []
+        if self.shards == 1:
+            yield self.sim.timeout(self.costs.service_log_append)
+            keys = []
+            for audit_id in audit_ids:
+                yield self.sim.timeout(self.costs.service_key_lookup)
+                if audit_id in self._key_shards[0]:
+                    keys.append(self._fetch_one(device_id, audit_id, kind))
+                else:
+                    keys.append(b"")  # unknown IDs skipped, not fatal
+            return {"keys": keys}
+
+        by_shard: dict[int, list[bytes]] = {}
         for audit_id in audit_ids:
-            yield self.sim.timeout(self.costs.service_key_lookup)
-            if audit_id in self._keys:
-                keys.append(self._fetch_one(device_id, audit_id, kind))
-            else:
-                keys.append(b"")  # unknown IDs skipped, not fatal
-        return {"keys": keys}
+            by_shard.setdefault(self._shard_of(audit_id), []).append(audit_id)
+        results: dict[bytes, bytes] = {}
+        workers = [
+            self.sim.process(
+                self._batch_shard_worker(device_id, shard, ids, kind, results),
+                name=f"key-batch-s{shard}",
+            )
+            for shard, ids in by_shard.items()
+        ]
+        yield self.sim.all_of(workers)
+        return {"keys": [results[a] for a in audit_ids]}
+
+    def _batch_shard_worker(
+        self,
+        device_id: str,
+        shard: int,
+        audit_ids: list[bytes],
+        kind: str,
+        results: dict[bytes, bytes],
+    ) -> Generator:
+        yield from self._shard_queue(shard)
+        try:
+            yield self.sim.timeout(self.costs.service_log_append)
+            for audit_id in audit_ids:
+                yield self.sim.timeout(self.costs.service_key_lookup)
+                if audit_id in self._key_shards[shard]:
+                    results[audit_id] = self._fetch_one(device_id, audit_id, kind)
+                else:
+                    results[audit_id] = b""
+        finally:
+            self._shard_release(shard)
+        return None
 
     def _handle_evict_notify(self, device_id: str, payload: dict) -> Generator:
         """Record key evictions on hibernation (§6: "such evictions
@@ -158,6 +265,24 @@ class KeyService:
             reason=payload.get("reason", "hibernate"),
         )
         return {"ok": True}
+
+    def _handle_evict_notify_batch(self, device_id: str, payload: dict) -> Generator:
+        """Write-behind eviction notices, one durable append per batch.
+
+        Like ``key.report_batch``, each notice keeps the timestamp at
+        which the eviction *happened* on the device, not the flush time.
+        """
+        notices = payload.get("notices", [])
+        yield self.sim.timeout(self.costs.service_log_append)
+        for notice in notices:
+            self.access_log.append(
+                float(notice["timestamp"]),
+                device_id,
+                "evict",
+                count=int(notice.get("count", 0)),
+                reason=notice.get("reason", "expired"),
+            )
+        return {"accepted": len(notices)}
 
     def _handle_report_batch(self, device_id: str, payload: dict) -> Generator:
         """Bulk upload of a paired device's locally logged accesses.
@@ -190,7 +315,10 @@ class KeyService:
         ]
 
     def known_audit_ids(self) -> set[bytes]:
-        return set(self._keys)
+        out: set[bytes] = set()
+        for shard in self._key_shards:
+            out.update(shard)
+        return out
 
     def key_count(self) -> int:
-        return len(self._keys)
+        return sum(len(shard) for shard in self._key_shards)

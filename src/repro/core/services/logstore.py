@@ -17,7 +17,7 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.crypto.sha256 import sha256_fast
 
-__all__ = ["LogEntry", "AppendOnlyLog"]
+__all__ = ["LogEntry", "AppendOnlyLog", "ShardedLog"]
 
 
 @dataclass(frozen=True)
@@ -109,3 +109,67 @@ class AppendOnlyLog:
                 return False
             prev = entry.chain_hash
         return True
+
+
+class ShardedLog:
+    """N independent hash chains presenting one logical log.
+
+    Each shard is a full :class:`AppendOnlyLog` (its own chain, so
+    shards can be written by concurrent service workers without a
+    global serialization point), routed by a caller-supplied function
+    of the record.  Readers see the global append order: iteration,
+    ``entries`` and ``len`` behave exactly like a single log, and
+    :meth:`verify_chain` proves every shard's chain.
+    """
+
+    def __init__(self, name: str, shards: int, router: Callable[..., int]):
+        if shards < 1:
+            raise ValueError("a sharded log needs at least one shard")
+        self.name = name
+        # router(device_id, kind, fields) -> shard index (any int).
+        self._router = router
+        self.shards = [
+            AppendOnlyLog(name=f"{name}-s{i}") for i in range(shards)
+        ]
+        self._order: list[LogEntry] = []
+
+    def shard_of(self, device_id: str, kind: str, fields: dict) -> int:
+        return self._router(device_id, kind, fields) % len(self.shards)
+
+    def append(
+        self, timestamp: float, device_id: str, kind: str, **fields: Any
+    ) -> LogEntry:
+        idx = self.shard_of(device_id, kind, fields)
+        entry = self.shards[idx].append(timestamp, device_id, kind, **fields)
+        self._order.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._order)
+
+    def entries(
+        self,
+        since: Optional[float] = None,
+        device_id: Optional[str] = None,
+        kind: Optional[str] = None,
+        predicate: Optional[Callable[[LogEntry], bool]] = None,
+    ) -> list[LogEntry]:
+        """Filtered view over the global append order."""
+        out = []
+        for entry in self._order:
+            if since is not None and entry.timestamp < since:
+                continue
+            if device_id is not None and entry.device_id != device_id:
+                continue
+            if kind is not None and entry.kind != kind:
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            out.append(entry)
+        return out
+
+    def verify_chain(self) -> bool:
+        return all(shard.verify_chain() for shard in self.shards)

@@ -84,6 +84,8 @@ class MetadataService:
         self.server.register("meta.register_ibe", self._handle_register_ibe)
         self.server.register("meta.register_dir", self._handle_register_dir)
         self.server.register("meta.register_xattr", self._handle_register_xattr)
+        self.server.register("meta.register_xattr_batch",
+                             self._handle_register_xattr_batch)
 
     def enroll_device(self, device_id: str, secret: bytes) -> None:
         self.server.enroll_device(device_id, secret)
@@ -163,6 +165,25 @@ class MetadataService:
         )
         self._xattrs.setdefault(audit_id, {})[name] = value
         return {"ok": True}
+
+    def _handle_register_xattr_batch(self, device_id: str, payload: dict) -> Generator:
+        """Write-behind xattr registrations: one durable append + one
+        metadata update charge per batch, original timestamps kept (the
+        audit trail reflects when the attribute changed on the device).
+        """
+        items = payload.get("items", [])
+        yield self.sim.timeout(self.costs.service_log_append)
+        yield self.sim.timeout(self.costs.service_metadata_update)
+        for item in items:
+            audit_id = item["audit_id"]
+            name = item["name"]
+            value = item["value"]
+            self.metadata_log.append(
+                float(item["timestamp"]), device_id, "xattr",
+                audit_id=audit_id, name=name, value=value,
+            )
+            self._xattrs.setdefault(audit_id, {})[name] = value
+        return {"accepted": len(items)}
 
     def xattrs_of(self, audit_id: bytes) -> dict[str, bytes]:
         """Latest registered extended attributes for an audit ID."""

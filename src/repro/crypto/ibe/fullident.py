@@ -26,7 +26,6 @@ from dataclasses import dataclass
 from repro.crypto.ibe.boneh_franklin import (
     IbePrivateKey,
     IbePublic,
-    _hash_to_point,
 )
 from repro.crypto.ibe.curve import Point
 from repro.crypto.ibe.fp2 import Fp2

@@ -18,7 +18,11 @@ from repro.harness.experiment import (
     build_keypad_rig,
     build_nfs_rig,
 )
-from repro.harness.results import ResultTable
+from repro.harness.results import (
+    ResultTable,
+    transport_metrics_row,
+    transport_metrics_table,
+)
 
 __all__ = [
     "KeypadRig",
@@ -28,4 +32,6 @@ __all__ = [
     "build_ext3_rig",
     "build_nfs_rig",
     "ResultTable",
+    "transport_metrics_row",
+    "transport_metrics_table",
 ]

@@ -12,7 +12,7 @@ caches.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator
 
 from repro.core import KeypadConfig
 from repro.harness.experiment import build_encfs_rig, build_keypad_rig

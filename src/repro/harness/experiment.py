@@ -15,7 +15,7 @@ from typing import Any, Generator, Optional
 from repro.costmodel import DEFAULT_COSTS, CostModel
 from repro.crypto.ibe import TOY
 from repro.encfs import EncfsFS, Volume
-from repro.net import BLUETOOTH, LAN, THREE_G, Link, NetEnv
+from repro.net import BLUETOOTH, LAN, Link, NetEnv
 from repro.sim import Simulation
 from repro.storage import BlockDevice, BufferCache, LocalFileSystem
 from repro.core import (
@@ -164,7 +164,9 @@ def build_keypad_rig(
     device, cache, lower = _storage_stack(sim, costs, n_blocks)
     volume = Volume(password)
 
-    key_service = KeyService(sim, costs=costs, seed=seed + b"|ks")
+    key_service = KeyService(
+        sim, costs=costs, seed=seed + b"|ks", shards=config.key_shards
+    )
     metadata_service = MetadataService(
         sim, costs=costs, ibe_params=ibe_params, master_seed=seed + b"|pkg"
     )
@@ -181,6 +183,11 @@ def build_keypad_rig(
         metadata_link,
         costs=costs,
         rekey_interval=config.rekey_interval,
+        pipelining=config.pipelining,
+        max_inflight=config.max_inflight,
+        coalesce_fetches=config.coalesce_fetches,
+        write_behind=config.write_behind,
+        write_behind_interval=config.write_behind_interval,
     )
     fs = KeypadFS(
         sim, lower, volume, services, config=config, costs=costs,
@@ -220,9 +227,12 @@ def build_keypad_rig(
             phone_key_uplink,
             phone_meta_uplink,
             costs=costs,
+            pipelining=config.pipelining,
+            max_inflight=config.max_inflight,
         )
         proxy = PhoneProxy(
-            sim, phone, bt_link, DEVICE_ID, device_secret, costs=costs
+            sim, phone, bt_link, DEVICE_ID, device_secret, costs=costs,
+            pipelining=config.pipelining, max_inflight=config.max_inflight,
         )
         rig.phone = phone
         rig.phone_proxy = proxy

@@ -10,7 +10,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.attack import run_scenario
 from repro.core import KeypadConfig

@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-__all__ = ["ResultTable", "fmt_seconds", "fmt_ms"]
+__all__ = [
+    "ResultTable",
+    "fmt_seconds",
+    "fmt_ms",
+    "transport_metrics_row",
+    "transport_metrics_table",
+]
 
 
 def fmt_seconds(value: float) -> str:
@@ -76,3 +82,35 @@ class ResultTable:
     def column(self, name: str) -> list:
         idx = list(self.columns).index(name)
         return [row[idx] for row in self.rows]
+
+
+#: Column order used by :func:`transport_metrics_row` — benches build a
+#: ResultTable as ``["label", *TRANSPORT_METRIC_COLUMNS]``.
+TRANSPORT_METRIC_COLUMNS = (
+    "rpc_calls", "serial", "pipelined", "inflight_hwm",
+    "coalesced", "batched", "bytes_sent", "bytes_received",
+)
+
+
+def transport_metrics_row(session) -> tuple:
+    """Flatten a :class:`~repro.core.client.ServiceSession`'s transport
+    counters into a row matching ``TRANSPORT_METRIC_COLUMNS``."""
+    channels = session.channel_metrics()
+    coalesced = (
+        session.metrics.coalesced_hits + session.metrics.coalesced_batch_hits
+    )
+    return (
+        channels.calls,
+        channels.serial_calls,
+        channels.pipelined_calls,
+        channels.inflight_hwm,
+        coalesced,
+        session.metrics.batched_messages,
+        channels.bytes_sent,
+        channels.bytes_received,
+    )
+
+
+def transport_metrics_table(title: str = "Transport metrics") -> ResultTable:
+    """A ready-made table for per-run transport-counter reporting."""
+    return ResultTable(title=title, columns=["run", *TRANSPORT_METRIC_COLUMNS])

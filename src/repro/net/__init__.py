@@ -12,10 +12,31 @@ from repro.net.netem import (
     WLAN,
     NetEnv,
 )
-from repro.net.rpc import RpcChannel, RpcServer
-from repro.net.wire import marshal_request, marshal_response, unmarshal
+from repro.net.metrics import ChannelMetrics, SessionMetrics, merge_channel_metrics
+from repro.net.rpc import HELLO_METHOD, RpcChannel, RpcServer
+from repro.net.wire import (
+    FRAME_OVERHEAD,
+    PROTOCOL_LATEST,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    marshal_request,
+    marshal_response,
+    pack_envelope,
+    unmarshal,
+    unpack_envelope,
+)
 
 __all__ = [
+    "ChannelMetrics",
+    "SessionMetrics",
+    "merge_channel_metrics",
+    "HELLO_METHOD",
+    "FRAME_OVERHEAD",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "PROTOCOL_LATEST",
+    "pack_envelope",
+    "unpack_envelope",
     "Link",
     "LinkStats",
     "NetEnv",

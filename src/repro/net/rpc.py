@@ -12,6 +12,25 @@ from the device cannot decrypt past intercepted data."
 Latency per call: client marshal CPU + one-way transfer + server
 handler time + return transfer + client unmarshal CPU, all charged from
 the :class:`~repro.costmodel.CostModel`.
+
+Two transport modes share one channel class:
+
+* **serial (protocol v1)** — the prototype's behaviour: one request
+  outstanding per connection turn, bare sealed bodies on the wire.
+  This is the default and is byte- and latency-identical to the
+  original implementation.
+* **pipelined (protocol v2)** — up to ``max_inflight`` concurrent
+  requests share the connection.  Each request carries a 64-bit request
+  ID in a framed envelope (:func:`repro.net.wire.pack_envelope`); the
+  caller parks on a per-request completion event while the server
+  executes, so responses complete out of order.  The mode is agreed by
+  an ``rpc.hello`` handshake on first use; a v1 server (which lacks the
+  method) makes the client degrade gracefully to serial mode instead of
+  erroring.
+
+The rekey ratchet is shared by both modes: it advances on wall-clock
+epochs regardless of how many requests are in flight, so pipelining
+never extends the lifetime of a session key.
 """
 
 from __future__ import annotations
@@ -31,10 +50,20 @@ from repro.errors import (
     ServiceUnavailableError,
 )
 from repro.net.link import Link
-from repro.net.wire import marshal_request, marshal_response, unmarshal
-from repro.sim import Simulation
+from repro.net.metrics import ChannelMetrics
+from repro.net.wire import (
+    PROTOCOL_LATEST,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    marshal_request,
+    marshal_response,
+    pack_envelope,
+    unmarshal,
+    unpack_envelope,
+)
+from repro.sim import Event, Simulation
 
-__all__ = ["RpcServer", "RpcChannel"]
+__all__ = ["RpcServer", "RpcChannel", "HELLO_METHOD"]
 
 # Exceptions that cross the wire as typed faults.
 _FAULT_TYPES: dict[str, type] = {
@@ -45,6 +74,9 @@ _FAULT_TYPES: dict[str, type] = {
     "LockedFileError": LockedFileError,
 }
 
+#: version-negotiation method; absent on protocol-v1 servers.
+HELLO_METHOD = "rpc.hello"
+
 
 class RpcServer:
     """A remote service endpoint: named handlers + device registry."""
@@ -54,13 +86,19 @@ class RpcServer:
         sim: Simulation,
         name: str,
         costs: CostModel = DEFAULT_COSTS,
+        protocol_version: int = PROTOCOL_LATEST,
     ):
         self.sim = sim
         self.name = name
         self.costs = costs
+        self.protocol_version = protocol_version
         self._handlers: dict[str, Callable] = {}
         self._device_secrets: dict[str, bytes] = {}
         self.available = True
+        if protocol_version >= PROTOCOL_V2:
+            # v1 servers predate negotiation; they simply lack the
+            # method, which is what v2 clients detect and degrade on.
+            self.register(HELLO_METHOD, self._handle_hello)
 
     def register(self, method: str, handler: Callable) -> None:
         """Register a handler.
@@ -70,6 +108,10 @@ class RpcServer:
         waitables (e.g. for durable log appends) before returning.
         """
         self._handlers[method] = handler
+
+    def _handle_hello(self, device_id: str, payload: dict) -> dict:
+        client_version = int(payload.get("version", PROTOCOL_V1))
+        return {"version": min(self.protocol_version, client_version)}
 
     def enroll_device(self, device_id: str, device_secret: bytes) -> None:
         """Provision a device's shared authentication secret."""
@@ -109,6 +151,8 @@ class RpcChannel:
         device_secret: bytes,
         costs: CostModel = DEFAULT_COSTS,
         rekey_interval: float = 100.0,
+        pipelining: bool = False,
+        max_inflight: int = 8,
     ):
         self.sim = sim
         self.link = link
@@ -117,6 +161,9 @@ class RpcChannel:
         self._device_secret = device_secret
         self.costs = costs
         self.rekey_interval = rekey_interval
+        self.pipelining = pipelining
+        self.max_inflight = max(1, max_inflight)
+        self.metrics = ChannelMetrics()
         self._session_key = hkdf_sha256(
             device_secret, b"", b"rpc-session-0", 32
         )
@@ -125,6 +172,14 @@ class RpcChannel:
         self._epoch = 0
         self._seq = 0
         self._connected = False
+        # Pipelining state: negotiated protocol version (None until the
+        # first hello), the in-flight request table, and callers waiting
+        # for a free slot in the send window.
+        self._negotiated: Optional[int] = None
+        self._negotiating: Optional[Event] = None
+        self._next_request_id = 0
+        self._inflight: dict[int, Event] = {}
+        self._slot_waiters: list[Event] = []
 
     # -- session key ratchet ---------------------------------------------------
     def _maybe_ratchet(self) -> None:
@@ -141,10 +196,64 @@ class RpcChannel:
         material = direction + self._seq.to_bytes(8, "big")
         return material.ljust(NONCE_LEN, b"\x00")[:NONCE_LEN]
 
+    @property
+    def negotiated_version(self) -> Optional[int]:
+        return self._negotiated
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
     # -- the call itself ----------------------------------------------------------
     def call(self, method: str, **params: Any) -> Generator:
         """Sim-process generator performing one authenticated RPC."""
+        if not self.pipelining:
+            result = yield from self._call_serial(method, params)
+            return result
+        if self._negotiated is None:
+            yield from self._negotiate()
+        if self._negotiated >= PROTOCOL_V2:
+            result = yield from self._call_pipelined(method, params)
+        else:
+            result = yield from self._call_serial(method, params)
+        return result
+
+    # -- version negotiation ------------------------------------------------------
+    def _negotiate(self) -> Generator:
+        """One hello round-trip; concurrent callers share the attempt.
+
+        A server without :data:`HELLO_METHOD` (a v1 peer) answers with
+        an RpcError fault, which settles the channel into serial mode —
+        graceful degradation rather than failure.  Network errors leave
+        the version unresolved so a later call retries.
+        """
+        while self._negotiating is not None:
+            yield self._negotiating
+            if self._negotiated is not None:
+                return None
+        if self._negotiated is not None:
+            return None
+        self._negotiating = self.sim.event()
+        try:
+            response = yield from self._call_serial(
+                HELLO_METHOD, {"version": PROTOCOL_LATEST}
+            )
+            version = int(response.get("version", PROTOCOL_V1))
+            self._negotiated = max(PROTOCOL_V1, min(PROTOCOL_LATEST, version))
+        except RpcError:
+            self._negotiated = PROTOCOL_V1
+        finally:
+            self.metrics.handshakes += 1
+            self.metrics.negotiated_version = self._negotiated
+            event, self._negotiating = self._negotiating, None
+            event.succeed()
+        return None
+
+    # -- serial (protocol v1) path ---------------------------------------------
+    def _call_serial(self, method: str, params: dict) -> Generator:
         self._maybe_ratchet()
+        self.metrics.calls += 1
+        self.metrics.serial_calls += 1
 
         # Authenticate: HMAC over device id, method, and payload bytes.
         request_plain = marshal_request(method, params)
@@ -171,6 +280,7 @@ class RpcChannel:
             self._connected = False
             raise
         self._connected = True
+        self.metrics.bytes_sent += wire_size
 
         # Server side: verify auth, unmarshal, execute.
         server = self.server
@@ -208,6 +318,7 @@ class RpcChannel:
         except NetworkUnavailableError:
             self._connected = False
             raise
+        self.metrics.bytes_received += response_size
         yield self.sim.timeout(self.costs.rpc_marshal_time(response_size))
 
         payload = unmarshal(response_plain).payload
@@ -216,3 +327,130 @@ class RpcChannel:
             raise exc_type(payload.get("message", "remote fault"))
         assert fault is None
         return payload
+
+    # -- pipelined (protocol v2) path -------------------------------------------
+    def _call_pipelined(self, method: str, params: dict) -> Generator:
+        """Send one framed request and park on its completion event.
+
+        The server side runs in its own process, so other requests may
+        be issued on this channel while this one is pending; the send
+        window is bounded by ``max_inflight``.
+        """
+        self._maybe_ratchet()
+        while len(self._inflight) >= self.max_inflight:
+            slot = self.sim.event()
+            self._slot_waiters.append(slot)
+            yield slot
+
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        done = self.sim.event()
+        self._inflight[request_id] = done
+        self.metrics.calls += 1
+        self.metrics.pipelined_calls += 1
+        self.metrics.note_inflight(len(self._inflight))
+        try:
+            request_plain = marshal_request(method, params)
+            auth_tag = hmac_sha256(
+                self._device_secret, self.device_id.encode() + request_plain
+            )
+            envelope = self._suite.seal(
+                self._nonce(b"req"),
+                request_plain,
+                aad=self.device_id.encode() + auth_tag,
+            )
+            frame = pack_envelope(PROTOCOL_V2, request_id, envelope)
+            wire_size = len(frame) + len(auth_tag) + len(self.device_id) + 24
+
+            yield self.sim.timeout(self.costs.rpc_marshal_time(wire_size))
+            if not self._connected:
+                yield self.sim.timeout(self.costs.rpc_connect)
+            try:
+                yield from self.link.transfer(wire_size)
+            except NetworkUnavailableError:
+                self._connected = False
+                raise
+            self._connected = True
+            self.metrics.bytes_sent += wire_size
+
+            self.sim.process(
+                self._serve_pipelined(
+                    request_id, request_plain, auth_tag, wire_size, done
+                ),
+                name=f"rpc-serve-{self.server.name}-{request_id}",
+            )
+            response_frame = yield done
+        finally:
+            self._inflight.pop(request_id, None)
+            if self._slot_waiters:
+                self._slot_waiters.pop(0).succeed()
+
+        version, response_id, response_plain = unpack_envelope(response_frame)
+        if version != PROTOCOL_V2 or response_id != request_id:
+            raise RpcError(
+                f"response frame mismatch: got v{version} id={response_id}, "
+                f"expected v{PROTOCOL_V2} id={request_id}"
+            )
+        payload = unmarshal(response_plain).payload
+        if isinstance(payload, dict) and "__fault__" in payload:
+            exc_type = _FAULT_TYPES.get(payload["__fault__"], RpcError)
+            raise exc_type(payload.get("message", "remote fault"))
+        return payload
+
+    def _serve_pipelined(
+        self,
+        request_id: int,
+        request_plain: bytes,
+        auth_tag: bytes,
+        wire_size: int,
+        done: Event,
+    ) -> Generator:
+        """Server-side half of a pipelined request (its own process)."""
+        try:
+            server = self.server
+            expected = hmac_sha256(
+                server.device_secret(self.device_id),
+                self.device_id.encode() + request_plain,
+            )
+            if expected != auth_tag:
+                raise AuthorizationError("request authentication failed")
+            message = unmarshal(request_plain)
+            yield self.sim.timeout(
+                self.costs.rpc_marshal_time(wire_size, server=True)
+            )
+            try:
+                result = yield from server.dispatch(
+                    self.device_id, message.method, message.payload
+                )
+            except (RpcError, RevokedError, AuthorizationError,
+                    ServiceUnavailableError, LockedFileError) as exc:
+                result = {
+                    "__fault__": type(exc).__name__,
+                    "message": str(exc),
+                }
+
+            # Response path: the frame carries the sealed body, but the
+            # completion event delivers a plaintext-framed copy so the
+            # client can verify the request-ID match without a redundant
+            # unseal (the seal is still computed for byte accounting).
+            response_plain = marshal_response(result)
+            response_envelope = self._suite.seal(
+                self._nonce(b"rsp"), response_plain
+            )
+            sealed_frame = pack_envelope(
+                PROTOCOL_V2, request_id, response_envelope
+            )
+            response_size = len(sealed_frame) + 16
+            try:
+                yield from self.link.transfer(response_size)
+            except NetworkUnavailableError:
+                self._connected = False
+                raise
+            self.metrics.bytes_received += response_size
+            yield self.sim.timeout(self.costs.rpc_marshal_time(response_size))
+            if not done.triggered:
+                done.succeed(pack_envelope(PROTOCOL_V2, request_id, response_plain))
+        except Exception as exc:  # delivered to the parked caller
+            if not done.triggered:
+                done.fail(exc)
+        return None

@@ -1,4 +1,4 @@
-"""XML-RPC-style wire marshalling.
+"""XML-RPC-style wire marshalling and the versioned transport envelope.
 
 The paper's components "communicate using encrypted XML-RPC with
 persistent connections", and its Figure 6 attributes the client-side
@@ -7,17 +7,85 @@ therefore marshal to real XML-RPC bytes (a faithful subset: struct,
 array, int, string, base64, boolean, double, nil) so that byte counts —
 which feed both the bandwidth experiment and the link transfer times —
 are honest.
+
+Protocol versions
+-----------------
+
+* **v1** (the paper's prototype): one message per connection turn, no
+  framing — the sealed XML-RPC body *is* the envelope.  Responses are
+  implicitly matched to requests because only one may be outstanding.
+* **v2** (pipelined): each sealed body is wrapped in a fixed 13-byte
+  frame — magic ``KPAD``, a version byte, and a 64-bit request ID — so
+  multiple requests can share one connection and responses can complete
+  out of order.  :func:`unpack_envelope` transparently recognises bare
+  v1 bodies, which is what lets a v2 peer interoperate with (and
+  degrade to) a v1 peer.
 """
 
 from __future__ import annotations
 
 import base64
 import re
-from typing import Any
+from typing import Any, Optional
 
 from repro.errors import RpcError
 
-__all__ = ["marshal_request", "marshal_response", "unmarshal", "WireMessage"]
+__all__ = [
+    "marshal_request",
+    "marshal_response",
+    "unmarshal",
+    "WireMessage",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "PROTOCOL_LATEST",
+    "FRAME_OVERHEAD",
+    "pack_envelope",
+    "unpack_envelope",
+]
+
+PROTOCOL_V1 = 1
+PROTOCOL_V2 = 2
+PROTOCOL_LATEST = PROTOCOL_V2
+
+_FRAME_MAGIC = b"KPAD"
+#: bytes a v2 frame adds on top of the sealed body (magic + ver + id).
+FRAME_OVERHEAD = len(_FRAME_MAGIC) + 1 + 8
+
+
+def pack_envelope(version: int, request_id: Optional[int], body: bytes) -> bytes:
+    """Wrap a sealed message body for the wire.
+
+    v1 envelopes are the bare body (byte-compatible with the original
+    prototype); v2 envelopes carry the version and request ID so a
+    pipelined peer can match out-of-order responses.
+    """
+    if version <= PROTOCOL_V1:
+        return body
+    if request_id is None or request_id < 0:
+        raise RpcError("v2 envelopes require a non-negative request ID")
+    return (
+        _FRAME_MAGIC
+        + version.to_bytes(1, "big")
+        + request_id.to_bytes(8, "big")
+        + body
+    )
+
+
+def unpack_envelope(data: bytes) -> tuple[int, Optional[int], bytes]:
+    """Split an envelope into ``(version, request_id, body)``.
+
+    Bare bodies (no frame magic) parse as v1 with ``request_id=None``,
+    which is how a v2 peer recognises a v1 peer's traffic.
+    """
+    if not data.startswith(_FRAME_MAGIC):
+        return PROTOCOL_V1, None, data
+    if len(data) < FRAME_OVERHEAD:
+        raise RpcError("truncated v2 envelope")
+    version = data[len(_FRAME_MAGIC)]
+    if version < PROTOCOL_V2:
+        raise RpcError(f"framed envelope claims pre-framing version {version}")
+    request_id = int.from_bytes(data[len(_FRAME_MAGIC) + 1:FRAME_OVERHEAD], "big")
+    return version, request_id, data[FRAME_OVERHEAD:]
 
 
 class WireMessage:

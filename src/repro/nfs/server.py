@@ -22,7 +22,6 @@ from repro.errors import (
     FileNotFound,
     IsADirectory,
     NotADirectory,
-    RpcError,
 )
 from repro.net.rpc import RpcServer
 from repro.sim import Simulation

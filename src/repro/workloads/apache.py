@@ -21,7 +21,7 @@ the tests pin the ranges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.sim import SimRandom
 from repro.storage.fsiface import FsInterface
@@ -132,10 +132,24 @@ class ApacheCompileWorkload:
 
     def _compile(self, fs: FsInterface) -> Generator:
         """make: per directory, compile each source against headers."""
+        yield from self.compile_dirs(fs, range(self.n_src_dirs))
+        return None
+
+    def compile_dirs(self, fs: FsInterface, dirs, sim=None) -> Generator:
+        """Compile the sources in the given module directories.
+
+        The unit of parallelism for concurrent builds: ``make -jN`` is
+        N sim processes each running ``compile_dirs`` over a disjoint
+        slice of ``range(n_src_dirs)`` against the same file system —
+        they contend on the shared header pool, which is exactly what
+        the transport's single-flight coalescing exploits.
+        """
+        if sim is not None:
+            self._sim = sim
         header_paths = [
             f"{self.root}/include/h{h:04d}.h" for h in range(self.n_headers)
         ]
-        for d in range(self.n_src_dirs):
+        for d in dirs:
             src_dir = f"{self.root}/modules/mod{d:02d}"
             for i in range(self.sources_per_dir):
                 src = f"{src_dir}/src{i:03d}.c"

@@ -7,7 +7,7 @@ the cross-file-system comparisons (Fig. 10, Table 1) are produced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.sim import SimRandom

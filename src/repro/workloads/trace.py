@@ -13,7 +13,7 @@ average the key-cache occupancy over exactly those windows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.sim import SimRandom, Simulation
 from repro.storage.fsiface import FsInterface

@@ -42,15 +42,7 @@ attacker_actions = st.lists(
 )
 
 
-@given(owner=owner_actions, attacker=attacker_actions,
-       texp=st.sampled_from([5.0, 50.0, 300.0]),
-       idle=st.floats(min_value=0.0, max_value=400.0),
-       prefetch=st.sampled_from(["none", "dir:2"]))
-@settings(max_examples=25, deadline=None)
-def test_zero_false_negatives_under_random_attacks(
-    owner, attacker, texp, idle, prefetch
-):
-    config = KeypadConfig(texp=texp, prefetch=prefetch, ibe_enabled=False)
+def _check_zero_false_negatives(owner, attacker, texp, idle, config):
     rig = build_keypad_rig(network=LAN, config=config, n_blocks=1 << 14)
 
     def setup():
@@ -109,6 +101,35 @@ def test_zero_false_negatives_under_random_attacks(
     )
     # And the logs themselves must verify.
     assert report.logs_intact
+
+
+@given(owner=owner_actions, attacker=attacker_actions,
+       texp=st.sampled_from([5.0, 50.0, 300.0]),
+       idle=st.floats(min_value=0.0, max_value=400.0),
+       prefetch=st.sampled_from(["none", "dir:2"]))
+@settings(max_examples=25, deadline=None)
+def test_zero_false_negatives_under_random_attacks(
+    owner, attacker, texp, idle, prefetch
+):
+    config = KeypadConfig(texp=texp, prefetch=prefetch, ibe_enabled=False)
+    _check_zero_false_negatives(owner, attacker, texp, idle, config)
+
+
+@given(owner=owner_actions, attacker=attacker_actions,
+       texp=st.sampled_from([5.0, 50.0, 300.0]),
+       idle=st.floats(min_value=0.0, max_value=400.0),
+       prefetch=st.sampled_from(["none", "dir:2"]))
+@settings(max_examples=15, deadline=None)
+def test_zero_false_negatives_with_fast_transport(
+    owner, attacker, texp, idle, prefetch
+):
+    """The invariant must survive every transport optimisation at once:
+    pipelining, single-flight coalescing, write-behind batching, and a
+    sharded key-service log (the ablation's 'fast' arm)."""
+    config = KeypadConfig(
+        texp=texp, prefetch=prefetch, ibe_enabled=False
+    ).with_fast_transport()
+    _check_zero_false_negatives(owner, attacker, texp, idle, config)
 
 
 @given(st.data())
