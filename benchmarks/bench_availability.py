@@ -1,0 +1,222 @@
+"""Availability under key-service failure: single service vs 2-of-3 cluster.
+
+Not a figure from the paper — §7 ("Improving Availability") notes that
+Keypad's devices "cannot access their files when the audit service is
+unreachable" and sketches multiple key services as the remedy.  This
+benchmark quantifies that remedy with the flag-gated cluster subsystem:
+
+* the **single** arm is the paper's design: one key service, whose link
+  goes down for an outage window mid-run;
+* the **replicated** arm is a 2-of-3 secret-shared cluster where one
+  replica crashes for the same window.
+
+A client re-reads files on a short expiration (every read needs a
+remote fetch) straight through the outage.  We measure **blocking
+time** (per-read latency, inside vs outside the outage), **failed
+reads**, and **audit completeness** (every completed read must appear
+in >= 2 replica logs, the merged forensic timeline must cover every
+file read, and the replica logs must merge with zero divergences).
+
+Run as a script for the CI fault-injection smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_availability.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import FaultEvent, FaultInjector, FaultPlan
+from repro.core import KeypadConfig
+from repro.errors import KeypadError
+from repro.forensics.audit import AuditTool
+from repro.harness import build_keypad_rig
+from repro.harness.experiment import DEVICE_ID
+from repro.harness.results import ResultTable
+from repro.net import THREE_G
+
+TEXP = 1.0            # every read needs a remote fetch
+READ_INTERVAL = 2.0   # > TEXP, and files recur > merge window apart
+FILES = 4
+CRASH_AFTER_READS = 3  # outage starts after this many reads...
+CRASH_READS = 4        # ...and covers this many
+
+
+def _arm_config(replicated: bool) -> KeypadConfig:
+    config = KeypadConfig(texp=TEXP, prefetch="none", ibe_enabled=False)
+    if replicated:
+        config = config.with_replication(2, 3)
+    return config
+
+
+def run_arm(replicated: bool, crash: bool, reads: int,
+            seed: bytes = b"availability-0") -> dict:
+    """One benchmark arm; returns latency/failure/audit measurements."""
+    rig = build_keypad_rig(
+        network=THREE_G, config=_arm_config(replicated), seed=seed
+    )
+    paths = [f"/home/file-{i}.txt" for i in range(FILES)]
+
+    crash_start = CRASH_AFTER_READS * READ_INTERVAL + READ_INTERVAL / 2
+    crash_duration = CRASH_READS * READ_INTERVAL
+    injector = FaultInjector(
+        rig.sim,
+        {link.name: link for link in (rig.replica_links or [rig.key_link])},
+        rig.replica_group,
+    )
+    if crash:
+        target = ("replica:0" if replicated
+                  else f"link:{rig.key_link.name}")
+        action = "crash" if replicated else "link-down"
+        injector.run(FaultPlan([
+            FaultEvent(crash_start, action, target, crash_duration),
+        ]))
+
+    latencies: list[tuple[float, float]] = []  # (start, seconds)
+    failures = 0
+
+    def workload():
+        nonlocal failures
+        yield from rig.fs.mkdir("/home")
+        for path in paths:
+            yield from rig.fs.write_file(path, b"confidential data")
+        for i in range(reads):
+            yield rig.sim.timeout(READ_INTERVAL)
+            started = rig.sim.now
+            try:
+                yield from rig.fs.read_all(paths[i % FILES])
+            except KeypadError:
+                failures += 1
+            else:
+                latencies.append((started, rig.sim.now - started))
+        # Let share repairs / cooldowns drain before auditing.
+        yield rig.sim.timeout(30.0)
+
+    rig.run(workload())
+
+    in_window = [s for t, s in latencies
+                 if crash_start <= t < crash_start + crash_duration]
+    out_window = [s for t, s in latencies
+                  if not crash_start <= t < crash_start + crash_duration]
+    result = {
+        "arm": ("replicated" if replicated else "single")
+               + ("+crash" if crash else ""),
+        "reads_ok": len(latencies),
+        "reads_failed": failures,
+        "mean_s": (sum(out_window) / len(out_window)) if out_window else 0.0,
+        "max_s": max(out_window, default=0.0),
+        "crash_mean_s": (sum(in_window) / len(in_window)) if in_window else 0.0,
+        "crash_max_s": max(in_window, default=0.0),
+        "min_witnesses": "-",
+        "divergences": "-",
+        "covered": "-",
+    }
+    if replicated:
+        cluster_log = rig.cluster_audit_log()
+        fetches = [a for a in cluster_log.merged() if a.kind == "fetch"]
+        result["fetch_groups"] = len(fetches)
+        result["min_witnesses"] = min(
+            (a.witnesses for a in fetches), default=0
+        )
+        result["divergences"] = len(cluster_log.divergences(DEVICE_ID))
+        report = AuditTool(cluster_log, rig.metadata_service).report(
+            t_loss=rig.sim.now, texp=rig.sim.now, device_id=DEVICE_ID
+        )
+        read_paths = {paths[i % FILES] for i in range(reads)}
+        result["covered"] = int(
+            read_paths <= set(report.compromised_paths().values())
+        )
+        result["client_metrics"] = rig.services.cluster.metrics.as_dict()
+    return result
+
+
+COLUMNS = ["arm", "reads_ok", "reads_failed", "mean_s", "max_s",
+           "crash_mean_s", "crash_max_s", "min_witnesses", "divergences",
+           "covered"]
+
+
+def build_table(reads: int) -> tuple[ResultTable, dict]:
+    table = ResultTable(
+        "Availability under key-service failure (3G, Texp=1s)", COLUMNS
+    )
+    by_arm: dict[str, dict] = {}
+    for replicated, crash in ((False, False), (False, True),
+                              (True, False), (True, True)):
+        row = run_arm(replicated, crash, reads)
+        by_arm[row["arm"]] = row
+        table.add(*(row[c] for c in COLUMNS))
+    table.note("single+crash: the paper's one key service behind a downed "
+               "link; replicated+crash: 2-of-3 cluster with replica 0 down "
+               "for the same window")
+    table.note("min_witnesses: fewest replica logs any completed fetch "
+               "appears in; covered: merged forensic report lists every "
+               "file read")
+    return table, by_arm
+
+
+def check(by_arm: dict) -> list[str]:
+    """The availability claims; returns human-readable violations."""
+    problems = []
+    single, replicated = by_arm["single+crash"], by_arm["replicated+crash"]
+    healthy = by_arm["replicated"]
+    if single["reads_failed"] == 0:
+        problems.append("single service survived its outage (bad fault "
+                        "injection?)")
+    if replicated["reads_failed"] != 0:
+        problems.append(
+            f"replicated arm failed {replicated['reads_failed']} reads"
+        )
+    # Bounded blocking: a crash may cost failed-attempt round-trips but
+    # never an unbounded stall (one extra 3G RTT is 0.3 s).
+    bound = healthy["max_s"] + 1.0
+    if replicated["crash_max_s"] > bound:
+        problems.append(
+            f"crash-window read took {replicated['crash_max_s']:.3f}s "
+            f"(bound {bound:.3f}s)"
+        )
+    for arm in ("replicated", "replicated+crash"):
+        row = by_arm[arm]
+        if row["min_witnesses"] < 2:
+            problems.append(f"{arm}: a fetch appears in only "
+                            f"{row['min_witnesses']} replica logs")
+        if row["divergences"] != 0:
+            problems.append(f"{arm}: {row['divergences']} log divergences")
+        if row["covered"] != 1:
+            problems.append(f"{arm}: merged forensic report missed a read "
+                            "file")
+    return problems
+
+
+def test_availability_under_failure(benchmark, record_table):
+    table, by_arm = benchmark.pedantic(
+        lambda: build_table(reads=12), rounds=1, iterations=1
+    )
+    record_table(table, "availability")
+    problems = check(by_arm)
+    assert not problems, "; ".join(problems)
+    benchmark.extra_info["crash_latency_overhead_s"] = round(
+        by_arm["replicated+crash"]["crash_max_s"]
+        - by_arm["replicated"]["max_s"], 3,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short run for CI")
+    parser.add_argument("--reads", type=int, default=None)
+    args = parser.parse_args(argv)
+    reads = args.reads if args.reads is not None else (8 if args.smoke else 16)
+    table, by_arm = build_table(reads)
+    print(table.render())
+    problems = check(by_arm)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("availability checks passed")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

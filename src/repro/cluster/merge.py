@@ -1,0 +1,251 @@
+"""Forensic merge of per-replica audit logs into one timeline.
+
+With a k-of-m replicated key service every fetch leaves k (or more)
+independent, hash-chained audit records — one per contacted replica.
+:class:`ClusterAuditLog` folds them back into a single timeline for the
+forensic tool: entries for the same ``(device, audit ID, kind)`` within
+a small clock window are one logical access that happened to be
+witnessed by several replicas, and the merged view keeps one
+representative record per such group (so a 2-of-3 fetch is one line in
+the report, not two).
+
+It also *cross-checks* the replicas, reporting :class:`Divergence`
+records when their stories disagree:
+
+* ``chain-broken`` — a replica's hash chain fails verification
+  (tampering or truncation on that replica);
+* ``under-replicated`` — some audit ID was disclosed yet fewer than the
+  k threshold replicas ever logged it, which a correct client cannot
+  produce (a fetch completes only after k replicas durably logged);
+* ``revocation-divergence`` — some replicas consider the device
+  revoked and others do not.
+
+A healthy run — even one with a crashed replica, since k live replicas
+still log every completed read — merges with **zero** divergences;
+``bench_availability`` asserts exactly that.
+
+:class:`ClusterAuditLog` duck-types the slice of
+:class:`~repro.core.services.keyservice.KeyService` that
+:class:`~repro.forensics.audit.AuditTool` reads (``accesses_after`` and
+``access_log.verify_chain``), so the existing forensic tool runs over a
+cluster unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.core.services.keyservice import DISCLOSING_KINDS, KeyService
+from repro.core.services.logstore import LogEntry
+from repro.cluster.replica import ReplicaGroup
+
+__all__ = ["MergedAccess", "Divergence", "ClusterAuditLog"]
+
+
+@dataclass(frozen=True)
+class MergedAccess:
+    """One logical access, as witnessed by one or more replicas."""
+
+    timestamp: float            # earliest replica record of the access
+    device_id: str
+    kind: str
+    audit_id: bytes
+    replica_indices: tuple[int, ...]
+    entries: tuple[LogEntry, ...] = field(compare=False, default=())
+
+    @property
+    def witnesses(self) -> int:
+        return len(self.replica_indices)
+
+    def describe(self) -> str:
+        reps = ",".join(str(i) for i in self.replica_indices)
+        return (
+            f"[{self.timestamp:.3f}] {self.device_id} {self.kind} "
+            f"id={self.audit_id.hex()[:12]}… (replicas {reps})"
+        )
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """A disagreement between replica audit logs."""
+
+    kind: str                   # chain-broken | under-replicated | revocation-divergence
+    detail: str
+    replica_indices: tuple[int, ...] = ()
+    audit_id: Optional[bytes] = None
+
+    def describe(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+class ClusterAuditLog:
+    """Merged, cross-checked view over a replica group's audit logs."""
+
+    def __init__(
+        self,
+        replicas: Union[ReplicaGroup, Iterable[KeyService]],
+        threshold: int,
+        window: float = 5.0,
+    ):
+        if isinstance(replicas, ReplicaGroup):
+            self.replicas = list(replicas.replicas)
+        else:
+            self.replicas = list(replicas)
+        if not self.replicas:
+            raise ValueError("a cluster audit log needs at least one replica")
+        if not 1 <= threshold <= len(self.replicas):
+            raise ValueError("threshold must be within the replica count")
+        self.threshold = threshold
+        self.window = window
+
+    # -- merging -------------------------------------------------------------
+    def _tagged_entries(
+        self, since: Optional[float] = None, device_id: Optional[str] = None
+    ) -> list[tuple[int, LogEntry]]:
+        """Disclosing entries from every replica, globally time-sorted."""
+        tagged = [
+            (index, entry)
+            for index, replica in enumerate(self.replicas)
+            for entry in replica.accesses_after(
+                since if since is not None else float("-inf"),
+                device_id=device_id,
+            )
+        ]
+        tagged.sort(key=lambda pair: (pair[1].timestamp, pair[0],
+                                      pair[1].sequence))
+        return tagged
+
+    def merged(
+        self, since: Optional[float] = None, device_id: Optional[str] = None
+    ) -> list[MergedAccess]:
+        """The deduplicated timeline: one record per logical access.
+
+        Same-``(device, ID, kind)`` entries whose timestamps fall within
+        ``window`` seconds of the group's first record are witnesses of
+        one access; records further apart are separate accesses (e.g.
+        re-fetches in a later expiration window).
+        """
+        open_groups: dict[tuple, list[tuple[int, LogEntry]]] = {}
+        accesses: list[MergedAccess] = []
+
+        def close(key: tuple, members: list[tuple[int, LogEntry]]) -> None:
+            indices = tuple(sorted({i for i, _ in members}))
+            accesses.append(
+                MergedAccess(
+                    timestamp=members[0][1].timestamp,
+                    device_id=key[0],
+                    kind=key[2],
+                    audit_id=key[1],
+                    replica_indices=indices,
+                    entries=tuple(e for _, e in members),
+                )
+            )
+
+        for index, entry in self._tagged_entries(since, device_id):
+            key = (entry.device_id, entry.fields.get("audit_id", b""), entry.kind)
+            members = open_groups.get(key)
+            if members is not None and (
+                entry.timestamp - members[0][1].timestamp <= self.window
+            ):
+                members.append((index, entry))
+                continue
+            if members is not None:
+                close(key, members)
+            open_groups[key] = [(index, entry)]
+        for key, members in open_groups.items():
+            close(key, members)
+        accesses.sort(key=lambda a: (a.timestamp, a.audit_id, a.kind))
+        return accesses
+
+    # -- cross-checking ------------------------------------------------------
+    def divergences(self, device_id: Optional[str] = None) -> list[Divergence]:
+        """Disagreements between the replica logs (empty = consistent)."""
+        out: list[Divergence] = []
+        for index, replica in enumerate(self.replicas):
+            if not replica.access_log.verify_chain():
+                out.append(
+                    Divergence(
+                        "chain-broken",
+                        f"replica {index} audit-log hash chain fails "
+                        "verification",
+                        replica_indices=(index,),
+                    )
+                )
+        # Replica coverage per disclosed audit ID, over all time: a
+        # completed k-of-m operation leaves records on >= k replicas
+        # (repairs may land late, hence no windowing here).
+        coverage: dict[bytes, set[int]] = {}
+        for index, entry in self._tagged_entries(device_id=device_id):
+            audit_id = entry.fields.get("audit_id")
+            if audit_id:
+                coverage.setdefault(bytes(audit_id), set()).add(index)
+        for audit_id, indices in sorted(coverage.items()):
+            if len(indices) < self.threshold:
+                out.append(
+                    Divergence(
+                        "under-replicated",
+                        f"id {audit_id.hex()[:12]}… was disclosed but only "
+                        f"{len(indices)}/{self.threshold} replicas logged it",
+                        replica_indices=tuple(sorted(indices)),
+                        audit_id=audit_id,
+                    )
+                )
+        revoked = {
+            index
+            for index, replica in enumerate(self.replicas)
+            if device_id is not None and replica.is_revoked(device_id)
+        }
+        if revoked and len(revoked) < len(self.replicas):
+            out.append(
+                Divergence(
+                    "revocation-divergence",
+                    f"device {device_id} is revoked on replicas "
+                    f"{sorted(revoked)} but not the rest",
+                    replica_indices=tuple(sorted(revoked)),
+                )
+            )
+        return out
+
+    # -- the KeyService surface AuditTool reads ------------------------------
+    def accesses_after(
+        self, t: float, device_id: Optional[str] = None
+    ) -> list[LogEntry]:
+        """One representative entry per merged access at or after ``t``."""
+        return [
+            access.entries[0]
+            for access in self.merged(since=t, device_id=device_id)
+        ]
+
+    @property
+    def access_log(self) -> "ClusterAuditLog":
+        # AuditTool calls ``key_service.access_log.verify_chain()``.
+        return self
+
+    def verify_chain(self) -> bool:
+        return all(r.access_log.verify_chain() for r in self.replicas)
+
+    def known_audit_ids(self) -> set[bytes]:
+        out: set[bytes] = set()
+        for replica in self.replicas:
+            out.update(replica.known_audit_ids())
+        return out
+
+    def witness_counts(self, since: Optional[float] = None) -> dict[bytes, int]:
+        """Max witnesses per audit ID — bench asserts these are >= k."""
+        counts: dict[bytes, int] = {}
+        for access in self.merged(since=since):
+            if access.kind in DISCLOSING_KINDS:
+                counts[access.audit_id] = max(
+                    counts.get(access.audit_id, 0), access.witnesses
+                )
+        return counts
+
+    def summary(self) -> dict:
+        return {
+            "replicas": len(self.replicas),
+            "threshold": self.threshold,
+            "entries": sum(len(r.access_log) for r in self.replicas),
+            "merged": len(self.merged()),
+            "divergences": len(self.divergences()),
+        }

@@ -1,0 +1,82 @@
+"""A group of key-service replicas holding secret shares of K_R.
+
+Each replica is a full :class:`~repro.core.services.keyservice.KeyService`
+— same wire protocol, same durable-log-before-reply discipline, same
+revocation support — whose escrow map stores *one share* of each remote
+key instead of the key itself (shares are exactly ``REMOTE_KEY_LEN``
+bytes; the Shamir evaluation point is the replica's index, carried
+implicitly).  A thief must therefore appear in at least
+``threshold`` replicas' logs to reconstruct any key, which is strictly
+stronger auditing than the single-service design.
+
+The group is pure server-side state; the failure-aware transport lives
+in :class:`~repro.cluster.client.ReplicatedKeyClient`.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import DEFAULT_COSTS, CostModel
+from repro.sim import Simulation
+from repro.core.services.keyservice import KeyService
+
+__all__ = ["ReplicaGroup"]
+
+
+class ReplicaGroup:
+    """m key-service replicas with a k-of-m share threshold."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        m: int,
+        k: int,
+        costs: CostModel = DEFAULT_COSTS,
+        seed: bytes = b"replica-group",
+        shards: int = 1,
+    ):
+        if not 1 <= k <= m:
+            raise ValueError(f"need 1 <= k <= m, got k={k} m={m}")
+        self.sim = sim
+        self.m = m
+        self.k = k
+        self.replicas = [
+            KeyService(
+                sim,
+                costs=costs,
+                seed=seed + b"|r%d" % i,
+                name=f"key-replica-{i}",
+                shards=shards,
+            )
+            for i in range(m)
+        ]
+
+    def __len__(self) -> int:
+        return self.m
+
+    def __getitem__(self, index: int) -> KeyService:
+        return self.replicas[index]
+
+    # -- administration (fans out to every replica) -------------------------
+    def enroll_device(self, device_id: str, secret: bytes) -> None:
+        for replica in self.replicas:
+            replica.enroll_device(device_id, secret)
+
+    def revoke_device(self, device_id: str) -> None:
+        """Remote control: a report of loss disables the device's keys
+        on every replica (each logs the revocation independently)."""
+        for replica in self.replicas:
+            replica.revoke_device(device_id)
+
+    def is_revoked(self, device_id: str) -> bool:
+        return any(r.is_revoked(device_id) for r in self.replicas)
+
+    # -- introspection -------------------------------------------------------
+    def available_count(self) -> int:
+        return sum(1 for r in self.replicas if r.server.available)
+
+    def crash(self, index: int) -> None:
+        """Test/fault hook: take one replica's server down."""
+        self.replicas[index].server.available = False
+
+    def recover(self, index: int) -> None:
+        self.replicas[index].server.available = True

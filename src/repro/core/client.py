@@ -405,9 +405,7 @@ class ServiceSession:
                 for ts, r in notices
             ]
             try:
-                yield from self.key_channel.call(
-                    "key.evict_notify_batch", notices=payload
-                )
+                yield from self._send_evict_batch(payload)
                 self.metrics.write_behind_flushes += 1
                 self.metrics.batched_messages += len(notices)
             except (NetworkUnavailableError, ServiceUnavailableError):
@@ -430,6 +428,14 @@ class ServiceSession:
                 self.metrics.batched_messages += len(xattrs)
             except (NetworkUnavailableError, ServiceUnavailableError):
                 self._wb_queue = xattrs + self._wb_queue
+        return None
+
+    def _send_evict_batch(self, payload: list[dict]) -> Generator:
+        """Transport hook for one eviction-notice batch; the replicated
+        session overrides this to fan the batch out across the cluster."""
+        yield from self.key_channel.call(
+            "key.evict_notify_batch", notices=payload
+        )
         return None
 
     def _private_key_from(self, response: dict) -> IbePrivateKey:

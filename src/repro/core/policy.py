@@ -81,6 +81,23 @@ class KeypadConfig:
     write_behind_interval: float = 1.0
     # Key-service escrow-map/log shards (1 = the paper's single queue).
     key_shards: int = 1
+    # --- replicated key-service cluster (§ "Improving Availability /
+    # Multiple Key Services"; replicas=1 keeps the paper's single
+    # service, byte-for-byte).  K_R is secret-shared k-of-m across the
+    # replicas; a fetch needs replica_threshold shares, each of which
+    # is independently audited.
+    replicas: int = 1
+    replica_threshold: int = 1
+    # Failure-aware client: per-request deadline, hedging delay for
+    # lagging replicas, retry budget with exponential backoff + jitter,
+    # and health-tracking cooldown for replicas that keep failing.
+    replica_deadline: float = 2.0
+    replica_hedge_delay: float = 0.75
+    replica_max_retries: int = 4
+    replica_backoff: float = 0.25
+    replica_backoff_cap: float = 4.0
+    replica_failure_threshold: int = 2
+    replica_cooldown: float = 8.0
 
     def coverage(self) -> Callable[[str], bool]:
         return coverage_for_prefixes(self.protected_prefixes)
@@ -111,3 +128,13 @@ class KeypadConfig:
             write_behind=True,
             key_shards=key_shards,
         )
+
+    def with_replication(self, k: int = 2, m: int = 3, **knobs) -> "KeypadConfig":
+        """A k-of-m replicated key-service cluster (default 2-of-3).
+
+        Extra keyword arguments override the ``replica_*`` client knobs
+        (deadline, hedging, retries, cooldown).
+        """
+        if not 1 <= k <= m:
+            raise ValueError(f"need 1 <= k <= m, got k={k} m={m}")
+        return replace(self, replicas=m, replica_threshold=k, **knobs)

@@ -29,10 +29,16 @@ from repro.net.rpc import RpcServer
 from repro.sim import Lock, Simulation
 from repro.core.services.logstore import AppendOnlyLog, LogEntry, ShardedLog
 
-__all__ = ["KeyService", "AUDIT_ID_LEN", "REMOTE_KEY_LEN"]
+__all__ = ["KeyService", "AUDIT_ID_LEN", "REMOTE_KEY_LEN", "DISCLOSING_KINDS"]
 
 AUDIT_ID_LEN = 24  # 192-bit audit IDs ("randomly generated 192-bit integer")
 REMOTE_KEY_LEN = 32
+
+#: Log-entry kinds that disclose key material (what the forensic tool
+#: counts as compromising; shared with the cluster log merge).
+DISCLOSING_KINDS = ("fetch", "refresh", "prefetch", "profile-prefetch",
+                    "paired-fetch", "paired-refresh", "paired-prefetch",
+                    "paired-profile-prefetch", "create")
 
 
 class KeyService:
@@ -67,7 +73,13 @@ class KeyService:
                 name="key-access", shards=shards, router=self._route_record
             )
 
+        # Retry dedup: token -> time of the entry it logged.  A retried
+        # fetch carrying the same token inside its dedup window returns
+        # the key without a second audit record (see _handle_fetch).
+        self._fetch_tokens: dict[bytes, float] = {}
+
         self.server.register("key.create", self._handle_create)
+        self.server.register("key.health", self._handle_health)
         self.server.register("key.put", self._handle_put)
         self.server.register("key.fetch", self._handle_fetch)
         self.server.register("key.fetch_batch", self._handle_fetch_batch)
@@ -183,17 +195,45 @@ class KeyService:
         self.access_log.append(self.sim.now, device_id, kind, audit_id=audit_id)
         return key
 
+    def _handle_health(self, device_id: str, payload: dict) -> dict:
+        """Cheap liveness ping for failure-aware clients (not logged —
+        it discloses no key material)."""
+        return {"ok": True, "now": self.sim.now}
+
     def _handle_fetch(self, device_id: str, payload: dict) -> Generator:
-        """The audited fetch: log durably, then return K_R."""
+        """The audited fetch: log durably, then return K_R.
+
+        Idempotent under retries: the service logs *before* replying,
+        so a client whose response was lost to the network retries a
+        fetch the log already recorded.  A retry carrying the same
+        ``token`` within ``window`` seconds of that record returns the
+        key without appending a duplicate — exactly one entry per
+        expiration window per logical fetch.  Tokenless fetches (the
+        paper's prototype) log unconditionally, byte-for-byte as before.
+        """
         self._check_revoked(device_id)
         audit_id = payload["audit_id"]
         kind = payload.get("kind", "fetch")
+        token = payload.get("token")
+        window = float(payload.get("window") or 0.0)
         shard = self._shard_of(audit_id)
         yield from self._shard_queue(shard)
         try:
             yield self.sim.timeout(self.costs.service_log_append)
             yield self.sim.timeout(self.costs.service_key_lookup)
-            key = self._fetch_one(device_id, audit_id, kind)
+            dedup = False
+            if token is not None:
+                logged_at = self._fetch_tokens.get(bytes(token))
+                dedup = (logged_at is not None
+                         and self.sim.now - logged_at <= window)
+            if dedup:
+                key = self._shard_map(audit_id).get(audit_id)
+                if key is None:
+                    raise RpcError("unknown audit ID")
+            else:
+                key = self._fetch_one(device_id, audit_id, kind)
+                if token is not None:
+                    self._fetch_tokens[bytes(token)] = self.sim.now
         finally:
             self._shard_release(shard)
         return {"key": key}
@@ -309,9 +349,7 @@ class KeyService:
         return [
             e
             for e in self.access_log.entries(since=t, device_id=device_id)
-            if e.kind in ("fetch", "refresh", "prefetch", "profile-prefetch",
-                          "paired-fetch", "paired-refresh", "paired-prefetch",
-                          "paired-profile-prefetch", "create")
+            if e.kind in DISCLOSING_KINDS
         ]
 
     def known_audit_ids(self) -> set[bytes]:

@@ -10,6 +10,7 @@ from repro.crypto.aes import AES
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.hmac import constant_time_equal, hmac_sha256
 from repro.crypto.kdf import hkdf_sha256, pbkdf2_sha256
+from repro.crypto.secretshare import combine_secret, split_secret
 from repro.crypto.sha256 import SHA256, sha256, sha256_fast
 
 __all__ = [
@@ -21,6 +22,8 @@ __all__ = [
     "constant_time_equal",
     "hkdf_sha256",
     "pbkdf2_sha256",
+    "split_secret",
+    "combine_secret",
     "SHA256",
     "sha256",
     "sha256_fast",

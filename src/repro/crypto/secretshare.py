@@ -1,0 +1,154 @@
+"""k-of-n secret sharing for remote keys (K_R).
+
+The paper's availability discussion ("Improving Availability / Multiple
+Key Services") proposes running several key services with K_R
+*secret-shared* across them: a fetch then needs shares from k distinct
+services, each of which independently logs the access — auditing gets
+strictly stronger (a thief must be logged by every share-holder it
+contacts) while any m − k services may be down without blocking reads.
+
+Two schemes, chosen automatically by :func:`split_secret`:
+
+* **XOR** (k == n): share_0 ⊕ … ⊕ share_{n-1} = secret.  All shares
+  are required; information-theoretically, any n − 1 reveal nothing.
+* **Shamir** (k < n): each secret byte is the constant term of a random
+  degree-(k−1) polynomial over GF(2⁸) (the AES field, x⁸+x⁴+x³+x+1);
+  share i holds the evaluations at x = i + 1.  Any k shares
+  reconstruct by Lagrange interpolation at 0; fewer reveal nothing.
+
+Shares are exactly ``len(secret)`` bytes — the evaluation point is the
+replica's index, carried implicitly — so a share fits wherever a whole
+K_R fits (:data:`~repro.core.services.keyservice.REMOTE_KEY_LEN`).
+Randomness comes from a caller-supplied DRBG so splits are
+deterministic given a seed, like everything else in the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import CryptoError
+
+__all__ = [
+    "split_secret",
+    "combine_secret",
+    "gf256_mul",
+    "gf256_inv",
+]
+
+_GF_MODULUS = 0x11B  # the AES reduction polynomial
+
+
+def gf256_mul(a: int, b: int) -> int:
+    """Carry-less multiply in GF(2⁸) reduced by the AES polynomial."""
+    out = 0
+    while b:
+        if b & 1:
+            out ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= _GF_MODULUS
+        b >>= 1
+    return out
+
+
+def gf256_pow(a: int, e: int) -> int:
+    out = 1
+    while e:
+        if e & 1:
+            out = gf256_mul(out, a)
+        a = gf256_mul(a, a)
+        e >>= 1
+    return out
+
+
+def gf256_inv(a: int) -> int:
+    """Multiplicative inverse (a²⁵⁴, by Fermat)."""
+    if a == 0:
+        raise CryptoError("no inverse of 0 in GF(256)")
+    return gf256_pow(a, 254)
+
+
+def _check_params(k: int, n: int) -> None:
+    if not 1 <= k <= n:
+        raise CryptoError(f"need 1 <= k <= n, got k={k} n={n}")
+    if n > 255:
+        raise CryptoError("at most 255 shares (evaluation points are bytes)")
+
+
+def split_secret(secret: bytes, k: int, n: int, rng) -> list[bytes]:
+    """Split ``secret`` into ``n`` shares, any ``k`` of which suffice.
+
+    ``rng`` is any object with a ``generate(n_bytes) -> bytes`` method
+    (e.g. :class:`~repro.crypto.drbg.HmacDrbg`).  Share ``i`` belongs to
+    replica ``i``; its evaluation point ``x = i + 1`` is implicit.
+    """
+    _check_params(k, n)
+    if n == 1:
+        return [bytes(secret)]
+    if k == n:  # XOR sharing: n − 1 random pads, last share closes the sum
+        shares = [rng.generate(len(secret)) for _ in range(n - 1)]
+        last = bytes(secret)
+        for share in shares:
+            last = bytes(a ^ b for a, b in zip(last, share))
+        shares.append(last)
+        return shares
+    # Shamir: one random polynomial per secret byte, shared coefficients
+    # drawn up front so the split is a single DRBG read.
+    coeffs = rng.generate(len(secret) * (k - 1))
+    shares = []
+    for i in range(n):
+        x = i + 1
+        share = bytearray(len(secret))
+        for b, s in enumerate(secret):
+            acc = 0
+            # Horner, highest coefficient first: c_{k-1} x^{k-1} + … + s.
+            for j in range(k - 2, -1, -1):
+                acc = gf256_mul(acc, x) ^ coeffs[j * len(secret) + b]
+            share[b] = gf256_mul(acc, x) ^ s
+        shares.append(bytes(share))
+    return shares
+
+
+def combine_secret(
+    shares: Mapping[int, bytes] | Sequence[tuple[int, bytes]],
+    k: int,
+    n: int,
+) -> bytes:
+    """Reconstruct the secret from ``{replica_index: share}``.
+
+    Exactly ``k`` distinct shares are consumed (extras are ignored);
+    fewer raise :class:`~repro.errors.CryptoError`.
+    """
+    _check_params(k, n)
+    items = sorted(dict(shares).items())
+    if len(items) < k:
+        raise CryptoError(f"need {k} shares, got {len(items)}")
+    items = items[:k]
+    lengths = {len(share) for _, share in items}
+    if len(lengths) != 1:
+        raise CryptoError("shares have mismatched lengths")
+    if any(not 0 <= i < n for i, _ in items):
+        raise CryptoError("share index out of range")
+    if n == 1:
+        return bytes(items[0][1])
+    if k == n:
+        out = bytes(len(items[0][1]))
+        for _, share in items:
+            out = bytes(a ^ b for a, b in zip(out, share))
+        return out
+    # Lagrange interpolation at x = 0 (in GF(2⁸), subtraction is XOR).
+    xs = [i + 1 for i, _ in items]
+    length = lengths.pop()
+    secret = bytearray(length)
+    for j, (_, share) in enumerate(items):
+        num, den = 1, 1
+        for l, x_l in enumerate(xs):
+            if l == j:
+                continue
+            num = gf256_mul(num, x_l)
+            den = gf256_mul(den, x_l ^ xs[j])
+        weight = gf256_mul(num, gf256_inv(den))
+        for b in range(length):
+            secret[b] ^= gf256_mul(share[b], weight)
+    return bytes(secret)

@@ -18,6 +18,7 @@ __all__ = [
     "NetworkUnavailableError",
     "RpcError",
     "ServiceUnavailableError",
+    "DeadlineExpiredError",
     "RevokedError",
     "AuthorizationError",
     "LockedFileError",
@@ -91,6 +92,10 @@ class RpcError(KeypadError):
 
 class ServiceUnavailableError(KeypadError):
     """The remote service refused or could not serve the request."""
+
+
+class DeadlineExpiredError(ServiceUnavailableError):
+    """A per-request deadline elapsed before the service answered."""
 
 
 class RevokedError(KeypadError):

@@ -16,7 +16,7 @@ from repro.costmodel import DEFAULT_COSTS, CostModel
 from repro.crypto.ibe import TOY
 from repro.encfs import EncfsFS, Volume
 from repro.net import BLUETOOTH, LAN, Link, NetEnv
-from repro.sim import Simulation
+from repro.sim import Simulation, SimRandom
 from repro.storage import BlockDevice, BufferCache, LocalFileSystem
 from repro.core import (
     DeviceServices,
@@ -73,6 +73,10 @@ class KeypadRig:
     bluetooth_link: Optional[Link] = None
     phone_key_uplink: Optional[Link] = None
     phone_metadata_uplink: Optional[Link] = None
+    # Replicated key-service cluster (config.replicas > 1); when set,
+    # ``key_service`` is replica 0 and ``key_link`` is its link.
+    replica_group: Optional[Any] = None
+    replica_links: list = field(default_factory=list)
     extras: dict = field(default_factory=dict)
 
     def run(self, gen: Generator, name: str = "workload") -> Any:
@@ -81,12 +85,29 @@ class KeypadRig:
     # -- theft/loss controls ----------------------------------------------------
     def sever_device_links(self) -> None:
         """The thief cuts the device's own network access."""
-        self.key_link.sever()
+        for link in self.replica_links:
+            if not link.severed:
+                link.sever()
+        if not self.key_link.severed:
+            self.key_link.sever()
         self.metadata_link.sever()
 
     def revoke(self) -> None:
         """Remote control: the victim reports the device stolen."""
-        self.key_service.revoke_device(DEVICE_ID)
+        if self.replica_group is not None:
+            self.replica_group.revoke_device(DEVICE_ID)
+        else:
+            self.key_service.revoke_device(DEVICE_ID)
+
+    def cluster_audit_log(self, window: float = 5.0):
+        """The merged forensic view over the replica cluster's logs."""
+        if self.replica_group is None:
+            raise ValueError("rig was built without replication")
+        from repro.cluster import ClusterAuditLog
+
+        return ClusterAuditLog(
+            self.replica_group, self.config.replica_threshold, window=window
+        )
 
     def attach_phone(self) -> None:
         if self.phone_proxy is None:
@@ -164,31 +185,83 @@ def build_keypad_rig(
     device, cache, lower = _storage_stack(sim, costs, n_blocks)
     volume = Volume(password)
 
-    key_service = KeyService(
-        sim, costs=costs, seed=seed + b"|ks", shards=config.key_shards
-    )
     metadata_service = MetadataService(
         sim, costs=costs, ibe_params=ibe_params, master_seed=seed + b"|pkg"
     )
-    key_link = network.make_link(sim, label=f"{network.name}-keys")
     metadata_link = network.make_link(sim, label=f"{network.name}-meta")
     device_secret = b"device-secret|" + seed
-    services = DeviceServices(
-        sim,
-        DEVICE_ID,
-        device_secret,
-        key_service,
-        metadata_service,
-        key_link,
-        metadata_link,
-        costs=costs,
-        rekey_interval=config.rekey_interval,
-        pipelining=config.pipelining,
-        max_inflight=config.max_inflight,
-        coalesce_fetches=config.coalesce_fetches,
-        write_behind=config.write_behind,
-        write_behind_interval=config.write_behind_interval,
-    )
+
+    replica_group = None
+    replica_links: list[Link] = []
+    if config.replicas > 1:
+        if with_phone:
+            raise ValueError(
+                "a paired phone is not supported with a replicated key "
+                "service (replicas > 1)"
+            )
+        from repro.cluster import ReplicaGroup, ReplicatedDeviceServices
+
+        replica_group = ReplicaGroup(
+            sim,
+            config.replicas,
+            config.replica_threshold,
+            costs=costs,
+            seed=seed + b"|replica",
+            shards=config.key_shards,
+        )
+        replica_links = [
+            network.make_link(sim, label=f"{network.name}-keys-r{i}")
+            for i in range(config.replicas)
+        ]
+        key_service = replica_group.replicas[0]
+        key_link = replica_links[0]
+        services = ReplicatedDeviceServices(
+            sim,
+            DEVICE_ID,
+            device_secret,
+            replica_group,
+            replica_links,
+            metadata_service,
+            metadata_link,
+            costs=costs,
+            rekey_interval=config.rekey_interval,
+            pipelining=config.pipelining,
+            max_inflight=config.max_inflight,
+            coalesce_fetches=config.coalesce_fetches,
+            write_behind=config.write_behind,
+            write_behind_interval=config.write_behind_interval,
+            deadline=config.replica_deadline,
+            hedge_delay=config.replica_hedge_delay,
+            max_retries=config.replica_max_retries,
+            backoff=config.replica_backoff,
+            backoff_cap=config.replica_backoff_cap,
+            failure_threshold=config.replica_failure_threshold,
+            cooldown=config.replica_cooldown,
+            dedup_window=config.texp,
+            mint_seed=b"cluster-mint|" + seed,
+            rng=SimRandom(seed, "cluster-client"),
+        )
+    else:
+        key_service = KeyService(
+            sim, costs=costs, seed=seed + b"|ks", shards=config.key_shards
+        )
+        key_link = network.make_link(sim, label=f"{network.name}-keys")
+        services = DeviceServices(
+            sim,
+            DEVICE_ID,
+            device_secret,
+            key_service,
+            metadata_service,
+            key_link,
+            metadata_link,
+            costs=costs,
+            rekey_interval=config.rekey_interval,
+            pipelining=config.pipelining,
+            max_inflight=config.max_inflight,
+            coalesce_fetches=config.coalesce_fetches,
+            write_behind=config.write_behind,
+            write_behind_interval=config.write_behind_interval,
+        )
     fs = KeypadFS(
         sim, lower, volume, services, config=config, costs=costs,
         drbg_seed=b"keypad|" + seed,
@@ -208,6 +281,8 @@ def build_keypad_rig(
         config=config,
         costs=costs,
         device_secret=device_secret,
+        replica_group=replica_group,
+        replica_links=replica_links,
     )
 
     if with_phone:

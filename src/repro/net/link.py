@@ -14,6 +14,7 @@ from typing import Generator, Optional
 
 from repro.errors import NetworkUnavailableError
 from repro.sim import Event, Simulation
+from repro.sim.rand import SimRandom
 
 __all__ = ["Link", "LinkStats"]
 
@@ -85,17 +86,26 @@ class Link:
         self.severed = False
         self.stats = LinkStats()
         self._up_event: Optional[Event] = None
+        # State-change event trace, in (time, event) order.  Fault-plan
+        # runs assert two same-seed runs produce identical traces.
+        self.trace: list[tuple[float, str]] = []
+        # Deterministic per-message delay jitter (reordered delivery
+        # under pipelining); 0 = off, the seed's exact behaviour.
+        self.jitter = 0.0
+        self._jitter_rng: Optional[SimRandom] = None
 
     # -- state control -----------------------------------------------------
     def set_down(self) -> None:
         """Begin an outage (e.g. entering a tunnel, WiFi drop)."""
         self.up = False
+        self.trace.append((self.sim.now, "down"))
 
     def set_up(self) -> None:
         """End an outage; wakes any senders blocked in wait mode."""
         if self.severed:
             raise NetworkUnavailableError(f"{self.name} was severed")
         self.up = True
+        self.trace.append((self.sim.now, "up"))
         if self._up_event is not None:
             event, self._up_event = self._up_event, None
             event.succeed()
@@ -104,6 +114,21 @@ class Link:
         """Permanently cut the link (thief removes the radio / drive)."""
         self.severed = True
         self.up = False
+        self.trace.append((self.sim.now, "severed"))
+
+    def set_jitter(self, jitter: float, rng: Optional[SimRandom] = None) -> None:
+        """Add up to ``jitter`` seconds of random extra one-way delay.
+
+        Draws come from the supplied seeded stream, so delay spikes —
+        and the message reorderings they cause under pipelining — are
+        identical across same-seed runs.
+        """
+        if jitter < 0:
+            raise ValueError("jitter cannot be negative")
+        self.jitter = jitter
+        if rng is not None:
+            self._jitter_rng = rng
+        self.trace.append((self.sim.now, f"jitter={jitter:g}"))
 
     @property
     def available(self) -> bool:
@@ -136,7 +161,10 @@ class Link:
                 if self.severed:
                     raise NetworkUnavailableError(f"{self.name} was severed")
         self.stats.record(self.sim.now, n_bytes)
-        yield self.sim.timeout(self.one_way_delay(n_bytes))
+        delay = self.one_way_delay(n_bytes)
+        if self.jitter > 0 and self._jitter_rng is not None:
+            delay += self._jitter_rng.uniform(0.0, self.jitter)
+        yield self.sim.timeout(delay)
         if not self.available:
             # The link dropped while the message was in flight.
             raise NetworkUnavailableError(f"{self.name} dropped mid-transfer")

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["ChannelMetrics", "SessionMetrics", "merge_channel_metrics"]
+__all__ = ["ChannelMetrics", "SessionMetrics", "ClusterMetrics",
+           "merge_channel_metrics"]
 
 
 @dataclass
@@ -63,6 +64,36 @@ class SessionMetrics:
             "batched_messages": self.batched_messages,
             "write_behind_flushes": self.write_behind_flushes,
             "enqueued": self.enqueued,
+        }
+
+
+@dataclass
+class ClusterMetrics:
+    """Counters for one replicated key-service client."""
+
+    share_fetches: int = 0      # logical fetches answered by combining shares
+    retries: int = 0            # whole-gather retries (with backoff)
+    hedged: int = 0             # duplicate requests sent to lagging replicas
+    failovers: int = 0          # immediate re-sends after a replica failure
+    deadline_expiries: int = 0  # per-request deadlines that fired
+    marked_down: int = 0        # replicas placed in cooldown by health tracking
+    probes: int = 0             # explicit health pings issued
+    repairs: int = 0            # share re-uploads completed by the repairer
+    repairs_abandoned: int = 0  # share re-uploads dropped after max attempts
+    broadcasts: int = 0         # best-effort fan-outs (eviction notices)
+
+    def as_dict(self) -> dict:
+        return {
+            "share_fetches": self.share_fetches,
+            "retries": self.retries,
+            "hedged": self.hedged,
+            "failovers": self.failovers,
+            "deadline_expiries": self.deadline_expiries,
+            "marked_down": self.marked_down,
+            "probes": self.probes,
+            "repairs": self.repairs,
+            "repairs_abandoned": self.repairs_abandoned,
+            "broadcasts": self.broadcasts,
         }
 
 

@@ -362,3 +362,29 @@ class Simulation:
         for i, w in enumerate(waitables):
             self.process(watcher(i, w), name=f"all_of[{i}]")
         return done
+
+    def any_of(self, waitables: Iterable[Waitable]) -> Event:
+        """An event that fires with ``(index, value)`` of the first
+        waitable to trigger.  The first *failure* fails the event
+        instead — racing a call against a timeout surfaces the call's
+        error immediately rather than waiting out the clock.  Losing
+        waitables keep running; their later outcomes are discarded.
+        """
+        waitables = list(waitables)
+        if not waitables:
+            raise SimulationError("any_of needs at least one waitable")
+        done = self.event()
+
+        def watcher(i: int, w: Waitable) -> Generator:
+            try:
+                value = yield w
+            except Exception as exc:
+                if not done.triggered:
+                    done.fail(exc)
+                return
+            if not done.triggered:
+                done.succeed((i, value))
+
+        for i, w in enumerate(waitables):
+            self.process(watcher(i, w), name=f"any_of[{i}]")
+        return done

@@ -42,7 +42,8 @@ attacker_actions = st.lists(
 )
 
 
-def _check_zero_false_negatives(owner, attacker, texp, idle, config):
+def _check_zero_false_negatives(owner, attacker, texp, idle, config,
+                                crash_replica=None):
     rig = build_keypad_rig(network=LAN, config=config, n_blocks=1 << 14)
 
     def setup():
@@ -57,6 +58,11 @@ def _check_zero_false_negatives(owner, attacker, texp, idle, config):
 
     rig.run(setup())
     t_loss = rig.sim.now
+
+    if crash_replica is not None and rig.replica_group is not None:
+        # One replica dies inside the exposure window; every attacker
+        # access below happens against the degraded cluster.
+        rig.replica_group.crash(crash_replica)
 
     memory = rig.fs.key_cache.snapshot()
     offline = OfflineAttacker(
@@ -93,7 +99,16 @@ def _check_zero_false_negatives(owner, attacker, texp, idle, config):
 
     rig.run(attack())
 
-    tool = AuditTool(rig.key_service, rig.metadata_service)
+    if rig.replica_group is not None:
+        # The forensic tool reads the merged per-replica timeline, which
+        # must also cross-check clean (the crash may not fabricate
+        # disagreements between the surviving logs).
+        cluster_log = rig.cluster_audit_log()
+        key_log = cluster_log
+        assert cluster_log.divergences("laptop-1") == []
+    else:
+        key_log = rig.key_service
+    tool = AuditTool(key_log, rig.metadata_service)
     report = tool.report(t_loss=t_loss, texp=texp)
     analysis = analyze_fidelity(report, truly_accessed)
     assert analysis.zero_false_negatives, (
@@ -130,6 +145,29 @@ def test_zero_false_negatives_with_fast_transport(
         texp=texp, prefetch=prefetch, ibe_enabled=False
     ).with_fast_transport()
     _check_zero_false_negatives(owner, attacker, texp, idle, config)
+
+
+@given(owner=owner_actions, attacker=attacker_actions,
+       texp=st.sampled_from([5.0, 50.0, 300.0]),
+       idle=st.floats(min_value=0.0, max_value=400.0),
+       prefetch=st.sampled_from(["none", "dir:2"]),
+       crash_replica=st.integers(min_value=0, max_value=2))
+@settings(max_examples=15, deadline=None)
+def test_zero_false_negatives_replicated_with_crashed_replica(
+    owner, attacker, texp, idle, prefetch, crash_replica
+):
+    """The invariant must survive the whole extension stack at once —
+    fast transport (pipelining + coalescing + write-behind + shards)
+    over a 2-of-3 secret-shared cluster — with an arbitrary replica
+    crashed inside the exposure window, judged from the merged
+    per-replica timeline."""
+    config = (
+        KeypadConfig(texp=texp, prefetch=prefetch, ibe_enabled=False)
+        .with_fast_transport()
+        .with_replication(2, 3)
+    )
+    _check_zero_false_negatives(owner, attacker, texp, idle, config,
+                                crash_replica=crash_replica)
 
 
 @given(st.data())

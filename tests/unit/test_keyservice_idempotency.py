@@ -1,0 +1,152 @@
+"""Fetch idempotency under retries (lost responses must not double-log).
+
+The service durably logs BEFORE replying, so a fetch whose response is
+lost to the network has already been recorded; a client that retries
+would historically produce a second audit entry for one logical access.
+With the retry-token dedup, a retry carrying the same token inside the
+expiration window returns the key without a duplicate record — exactly
+one entry per logical fetch per window — while tokenless fetches keep
+the paper's original log-every-call behaviour byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.services.keyservice import AUDIT_ID_LEN, KeyService
+from repro.errors import NetworkUnavailableError, RpcError
+from repro.net.link import Link
+from repro.net.rpc import RpcChannel
+from repro.sim import Simulation
+
+AUDIT_ID = bytes(range(AUDIT_ID_LEN))
+DEVICE = "laptop-1"
+SECRET = b"device-secret-tests-0123"
+RTT = 0.3
+
+
+def _rig():
+    sim = Simulation()
+    service = KeyService(sim)
+    service.enroll_device(DEVICE, SECRET)
+    link = Link(sim, RTT, name="keys")
+    channel = RpcChannel(sim, link, service.server, DEVICE, SECRET)
+    sim.run_process(channel.call("key.create", audit_id=AUDIT_ID))
+    return sim, service, link, channel
+
+
+def _fetch_entries(service) -> list:
+    return service.access_log.entries(kind="fetch")
+
+
+def _measure_fetch_seconds() -> float:
+    sim, _service, _link, channel = _rig()
+    start = sim.now
+    sim.run_process(channel.call("key.fetch", audit_id=AUDIT_ID))
+    return sim.now - start
+
+
+def _fetch_with_lost_response(retry_params: dict) -> tuple:
+    """Drop the link while the fetch response is in flight, then retry.
+
+    Returns (service, outcome of the retry call).
+    """
+    fetch_seconds = _measure_fetch_seconds()
+    sim, service, link, channel = _rig()
+
+    def outage():
+        # Down just before the response lands: the server has already
+        # appended its audit record, the client sees a network error.
+        yield sim.timeout(fetch_seconds - RTT / 4)
+        link.set_down()
+        yield sim.timeout(RTT)
+        link.set_up()
+
+    sim.process(outage())
+
+    def client():
+        with pytest.raises(NetworkUnavailableError):
+            yield from channel.call("key.fetch", **retry_params)
+        assert len(_fetch_entries(service)) == 1  # logged, reply lost
+        yield sim.timeout(2 * RTT)  # wait out the outage, then retry
+        response = yield from channel.call("key.fetch", **retry_params)
+        return response
+
+    response = sim.run_process(client())
+    return service, response
+
+
+def test_lost_response_plus_tokenless_retry_double_logs():
+    # The original behaviour (and the bug this PR's tokens fix): the
+    # legacy wire format has no way to tell a retry from a new fetch.
+    service, response = _fetch_with_lost_response(
+        {"audit_id": AUDIT_ID}
+    )
+    assert len(response["key"]) == 32
+    assert len(_fetch_entries(service)) == 2
+
+
+def test_retry_with_same_token_logs_exactly_once():
+    token = b"fetch-attempt-1"
+    service, response = _fetch_with_lost_response(
+        {"audit_id": AUDIT_ID, "token": token, "window": 100.0}
+    )
+    assert len(response["key"]) == 32
+    entries = _fetch_entries(service)
+    assert len(entries) == 1
+    assert entries[0].fields["audit_id"] == AUDIT_ID
+
+
+def test_first_tokened_fetch_still_logs():
+    sim, service, _link, channel = _rig()
+    sim.run_process(channel.call(
+        "key.fetch", audit_id=AUDIT_ID, token=b"t1", window=100.0
+    ))
+    assert len(_fetch_entries(service)) == 1
+
+
+def test_token_reuse_after_window_expiry_logs_again():
+    sim, service, _link, channel = _rig()
+
+    def client():
+        yield from channel.call(
+            "key.fetch", audit_id=AUDIT_ID, token=b"t1", window=10.0
+        )
+        yield sim.timeout(30.0)  # a new expiration window
+        yield from channel.call(
+            "key.fetch", audit_id=AUDIT_ID, token=b"t1", window=10.0
+        )
+
+    sim.run_process(client())
+    assert len(_fetch_entries(service)) == 2
+
+
+def test_distinct_tokens_log_distinct_accesses():
+    sim, service, _link, channel = _rig()
+
+    def client():
+        for token in (b"t1", b"t2"):
+            yield from channel.call(
+                "key.fetch", audit_id=AUDIT_ID, token=token, window=100.0
+            )
+
+    sim.run_process(client())
+    assert len(_fetch_entries(service)) == 2
+
+
+def test_deduped_retry_still_validates_the_audit_id():
+    sim, service, _link, channel = _rig()
+
+    def client():
+        yield from channel.call(
+            "key.fetch", audit_id=AUDIT_ID, token=b"t1", window=100.0
+        )
+        # Same token, bogus ID: the dedup path must not hand out keys
+        # for IDs the service does not hold.
+        with pytest.raises(RpcError):
+            yield from channel.call(
+                "key.fetch", audit_id=b"\xff" * AUDIT_ID_LEN,
+                token=b"t1", window=100.0,
+            )
+
+    sim.run_process(client())

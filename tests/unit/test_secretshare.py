@@ -1,0 +1,79 @@
+"""k-of-m secret sharing over GF(2^8): the cluster's key-splitting core."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.secretshare import combine_secret, split_secret
+from repro.errors import CryptoError
+
+
+def _rng(label: bytes = b"test") -> HmacDrbg:
+    return HmacDrbg(b"secret-share-tests", label)
+
+
+SECRET = bytes(range(32))
+
+
+@pytest.mark.parametrize("k,m", [(1, 1), (1, 3), (2, 2), (2, 3), (3, 5), (5, 5)])
+def test_roundtrip_every_k_subset(k, m):
+    shares = split_secret(SECRET, k, m, _rng())
+    assert len(shares) == m
+    assert all(len(s) == len(SECRET) for s in shares)
+    for subset in itertools.combinations(range(m), k):
+        assert combine_secret({i: shares[i] for i in subset}, k, m) == SECRET
+
+
+def test_extra_shares_do_not_hurt():
+    shares = split_secret(SECRET, 2, 4, _rng())
+    assert combine_secret(dict(enumerate(shares)), 2, 4) == SECRET
+
+
+def test_fewer_than_threshold_rejected():
+    shares = split_secret(SECRET, 3, 5, _rng())
+    with pytest.raises(CryptoError):
+        combine_secret({0: shares[0], 1: shares[1]}, 3, 5)
+
+
+def test_single_share_leaks_nothing_for_2_of_2():
+    # k == m == 2 is the XOR path: one share is a one-time pad.
+    shares = split_secret(SECRET, 2, 2, _rng())
+    assert shares[0] != SECRET and shares[1] != SECRET
+    assert bytes(a ^ b for a, b in zip(*shares)) == SECRET
+
+
+def test_shamir_shares_differ_from_secret():
+    for share in split_secret(SECRET, 2, 3, _rng()):
+        assert share != SECRET
+
+
+def test_deterministic_given_same_rng_stream():
+    assert (split_secret(SECRET, 2, 3, _rng())
+            == split_secret(SECRET, 2, 3, _rng()))
+    assert (split_secret(SECRET, 2, 3, _rng(b"a"))
+            != split_secret(SECRET, 2, 3, _rng(b"b")))
+
+
+def test_mismatched_share_lengths_rejected():
+    shares = split_secret(SECRET, 2, 3, _rng())
+    with pytest.raises(CryptoError):
+        combine_secret({0: shares[0], 1: shares[1][:-1]}, 2, 3)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(CryptoError):
+        split_secret(SECRET, 0, 3, _rng())
+    with pytest.raises(CryptoError):
+        split_secret(SECRET, 4, 3, _rng())
+    shares = split_secret(SECRET, 2, 3, _rng())
+    with pytest.raises(CryptoError):
+        combine_secret({0: shares[0], 7: shares[1]}, 2, 3)  # bad index
+
+
+def test_wrong_share_combination_gives_wrong_secret():
+    shares = split_secret(SECRET, 2, 3, _rng())
+    tampered = bytes(b ^ 0xFF for b in shares[1])
+    assert combine_secret({0: shares[0], 1: tampered}, 2, 3) != SECRET

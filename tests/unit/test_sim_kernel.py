@@ -292,3 +292,80 @@ def test_nested_processes_compose():
         return b
 
     assert sim.run_process(top()) == 23
+
+
+def test_any_of_returns_first_winner_index_and_value():
+    sim = Simulation()
+
+    def racer():
+        winner = yield sim.any_of(
+            [sim.timeout(5.0, value="slow"), sim.timeout(1.0, value="fast")]
+        )
+        return winner
+
+    assert sim.run_process(racer()) == (1, "fast")
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_any_of_with_processes_discards_the_loser():
+    sim = Simulation()
+    finished = []
+
+    def worker(delay, tag):
+        yield sim.timeout(delay)
+        finished.append(tag)
+        return tag
+
+    def racer():
+        procs = [sim.process(worker(2.0, "a")), sim.process(worker(1.0, "b"))]
+        index, value = yield sim.any_of(procs)
+        return index, value
+
+    proc = sim.run_process(racer())
+    assert proc == (1, "b")
+    sim.run()  # the loser keeps running to completion
+    assert finished == ["b", "a"]
+
+
+def test_any_of_first_failure_wins():
+    sim = Simulation()
+
+    def failing():
+        yield sim.timeout(0.5)
+        raise ValueError("boom")
+
+    def racer():
+        yield sim.any_of([sim.timeout(10.0), sim.process(failing())])
+
+    with pytest.raises(ValueError, match="boom"):
+        sim.run_process(racer())
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_any_of_rejects_empty_input():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.any_of([])
+
+
+def test_any_of_loser_can_be_interrupted():
+    sim = Simulation()
+    state = {}
+
+    def slow():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            state["interrupted_at"] = sim.now
+            return "stopped"
+
+    def racer():
+        proc = sim.process(slow())
+        index, _value = yield sim.any_of([proc, sim.timeout(1.0)])
+        if index == 1:
+            proc.interrupt("deadline")
+        return index
+
+    assert sim.run_process(racer()) == 1
+    sim.run()
+    assert state["interrupted_at"] == pytest.approx(1.0)
