@@ -16,9 +16,8 @@ makes:
 """
 
 from repro.core import KeypadConfig
-from repro.costmodel import DEFAULT_COSTS
 from repro.harness import build_keypad_rig
-from repro.harness.compilebench import run_compile
+from repro.harness.compilebench import ablation_ibe_cost
 from repro.harness.results import ResultTable
 from repro.net import THREE_G
 from repro.workloads import prepare_office_environment, task_by_name
@@ -26,27 +25,7 @@ from repro.workloads import prepare_office_environment, task_by_name
 
 def test_ablation_ibe_compute_cost(benchmark, record_table):
     """Zeroing the IBE math isolates protocol benefit from crypto cost."""
-
-    def run():
-        table = ResultTable(
-            "Ablation: IBE protocol vs IBE compute cost (Apache, 3G)",
-            ["configuration", "compile_s"],
-        )
-        config_no = KeypadConfig(texp=100.0, prefetch="dir:3",
-                                 ibe_enabled=False)
-        config_ibe = KeypadConfig(texp=100.0, prefetch="dir:3",
-                                  ibe_enabled=True)
-        table.add("no IBE (blocking metadata)",
-                  run_compile("keypad", THREE_G, config_no).seconds)
-        table.add("IBE, real cost",
-                  run_compile("keypad", THREE_G, config_ibe).seconds)
-        table.add("IBE, compute cost zeroed",
-                  run_compile("keypad", THREE_G, config_ibe,
-                              costs_override=DEFAULT_COSTS.without_ibe_cost()
-                              ).seconds)
-        return table
-
-    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = benchmark.pedantic(ablation_ibe_cost, rounds=1, iterations=1)
     record_table(table, "ablation_ibe_cost")
     times = dict(table.rows)
     # The protocol (asynchrony) is the main win; free crypto adds more.

@@ -136,16 +136,32 @@ COLUMNS = ["arm", "reads_ok", "reads_failed", "mean_s", "max_s",
            "covered"]
 
 
-def build_table(reads: int) -> tuple[ResultTable, dict]:
+def build_table(reads: int, jobs: int | None = None) -> tuple[ResultTable, dict]:
+    import time
+
+    from repro.harness.runner import attach_perf, run_arms
+
     table = ResultTable(
         "Availability under key-service failure (3G, Texp=1s)", COLUMNS
     )
     by_arm: dict[str, dict] = {}
-    for replicated, crash in ((False, False), (False, True),
-                              (True, False), (True, True)):
-        row = run_arm(replicated, crash, reads)
+    arm_grid = ((False, False), (False, True), (True, False), (True, True))
+    wall0 = time.perf_counter()
+    results = run_arms(
+        run_arm,
+        [(replicated, crash, reads) for replicated, crash in arm_grid],
+        labels=[("replicated" if replicated else "single")
+                + ("+crash" if crash else "")
+                for replicated, crash in arm_grid],
+        jobs=jobs,
+    )
+    for arm in results:
+        row = arm.value
         by_arm[row["arm"]] = row
         table.add(*(row[c] for c in COLUMNS))
+    attach_perf(table, "availability", results,
+                rpcs=lambda row: row["reads_ok"] + row["reads_failed"],
+                jobs=jobs, wall_s=time.perf_counter() - wall0, reads=reads)
     table.note("single+crash: the paper's one key service behind a downed "
                "link; replicated+crash: 2-of-3 cluster with replica 0 down "
                "for the same window")
@@ -209,6 +225,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     reads = args.reads if args.reads is not None else (8 if args.smoke else 16)
     table, by_arm = build_table(reads)
+    if getattr(table, "perf", None) is not None:
+        import pathlib
+
+        from repro.harness.runner import write_bench_json
+
+        write_bench_json(table.perf,
+                         pathlib.Path(__file__).parent / "results")
     print(table.render())
     problems = check(by_arm)
     for problem in problems:

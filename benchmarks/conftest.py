@@ -7,15 +7,31 @@ Scale knobs (for quicker CI-style runs vs full paper-fidelity runs):
 * ``KEYPAD_BENCH_SCALE``  — Apache-compile workload scale (default 0.3;
   set to 1.0 for the paper's full 75k-op stream);
 * ``KEYPAD_TRACE_DAYS``   — usage-trace length (default 3; paper used 12);
-* ``KEYPAD_BENCH_FULL=1`` — use the full network/parameter sweeps.
+* ``KEYPAD_BENCH_FULL=1`` — use the full network/parameter sweeps;
+* ``KEYPAD_BENCH_JOBS``   — fan independent experiment arms across this
+  many worker processes (default 1 = serial; rendered tables are
+  byte-identical at any job count).
+
+Alongside each rendered ``<name>.txt`` table, ``record_table`` emits a
+machine-readable ``BENCH_<name>.json`` perf record (per-arm wall/CPU
+time and blocking-RPC counts when the table came through the parallel
+runner; whole-bench timings otherwise) — the repo's perf trajectory.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
+import time
 
 import pytest
+
+from repro.harness.runner import (
+    ArmPerf,
+    BenchPerf,
+    bench_jobs,
+    write_bench_json,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -26,11 +42,30 @@ def pytest_configure(config):
 
 @pytest.fixture()
 def record_table():
-    """Write a rendered ResultTable under benchmarks/results/."""
+    """Write a rendered ResultTable (+ BENCH_<name>.json perf record)
+    under benchmarks/results/."""
+    fixture_start_wall = time.perf_counter()
+    fixture_start_cpu = time.process_time()
 
     def _record(table, name: str) -> None:
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(table.render() + "\n")
+        perf = getattr(table, "perf", None)
+        if perf is None:
+            # Not runner-driven: record the whole bench as one arm so
+            # every benchmark run still lands in the perf trajectory.
+            wall = time.perf_counter() - fixture_start_wall
+            cpu = time.process_time() - fixture_start_cpu
+            perf = BenchPerf(
+                bench=name,
+                jobs=bench_jobs(),
+                arms=[ArmPerf(label=name, wall_s=wall, cpu_s=cpu)],
+                total_wall_s=wall,
+                total_cpu_s=cpu,
+            )
+        else:
+            perf.bench = name  # file name follows the recorded name
+        write_bench_json(perf, RESULTS_DIR)
         print()
         print(table.render())
 

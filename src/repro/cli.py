@@ -16,6 +16,10 @@ Subcommands:
   Run the same demo against a k-of-m replicated key-service cluster
   (optionally crashing a replica mid-run), merge the per-replica audit
   logs into one timeline, and cross-check them for divergences.
+* ``keypad-audit bench --name fig7 [--jobs N --scale S --out DIR]``
+  Regenerate one of the paper's figures/tables through the parallel
+  experiment engine, rendering the table and writing the
+  machine-readable ``BENCH_<name>.json`` perf record.
 """
 
 from __future__ import annotations
@@ -147,6 +151,41 @@ def _cmd_cluster_demo(args: argparse.Namespace) -> int:
     return 0 if not divergences and report.logs_intact else 2
 
 
+#: CLI bench name -> module-level table builder (all accept jobs=;
+#: the compile-based ones also accept scale=).
+_BENCHES = {
+    "fig6a": ("repro.harness.microbench", "fig6a_content_ops", False),
+    "fig6b": ("repro.harness.microbench", "fig6b_metadata_ops", False),
+    "fig7": ("repro.harness.compilebench", "fig7_key_expiration", True),
+    "fig8a": ("repro.harness.compilebench", "fig8a_ibe_effect", True),
+    "fig8b": ("repro.harness.compilebench", "fig8b_paired_device", True),
+    "fig10": ("repro.harness.compilebench", "fig10_fs_comparison", True),
+    "fig11": ("repro.harness.exposurebench", "fig11_key_exposure", False),
+    "prefetch": ("repro.harness.compilebench",
+                 "prefetch_policy_comparison", True),
+    "ablation-ibe": ("repro.harness.compilebench", "ablation_ibe_cost", True),
+}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.harness.runner import write_bench_json
+
+    module_name, fn_name, takes_scale = _BENCHES[args.name]
+    fn = getattr(importlib.import_module(module_name), fn_name)
+    kwargs = {"jobs": args.jobs}
+    if takes_scale and args.scale is not None:
+        kwargs["scale"] = args.scale
+    table = fn(**kwargs)
+    print(table.render())
+    perf = getattr(table, "perf", None)
+    if perf is not None:
+        path = write_bench_json(perf, args.out)
+        print(f"perf record written to {path}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="keypad-audit",
@@ -191,6 +230,22 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--crash-duration", type=float, default=60.0,
                          help="crash window length (default 60)")
     cluster.set_defaults(func=_cmd_cluster_demo)
+
+    bench = sub.add_parser(
+        "bench",
+        help="regenerate a figure/table via the parallel experiment engine",
+    )
+    bench.add_argument("--name", required=True, choices=sorted(_BENCHES),
+                       help="which figure/table to regenerate")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: KEYPAD_BENCH_JOBS "
+                            "or 1 = serial)")
+    bench.add_argument("--scale", type=float, default=None,
+                       help="workload scale for compile-based benches "
+                            "(default: KEYPAD_BENCH_SCALE or 0.3)")
+    bench.add_argument("--out", default="benchmarks/results",
+                       help="directory for the BENCH_<name>.json record")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

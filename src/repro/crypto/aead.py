@@ -21,6 +21,7 @@ import struct
 from repro.crypto.aes import AES
 from repro.crypto.hmac import constant_time_equal, hmac_sha256
 from repro.crypto.kdf import hkdf_sha256
+from repro.crypto.kernels import xor_bytes, xor_bytes_reference
 from repro.crypto.modes import ctr_transform
 from repro.errors import IntegrityError
 
@@ -93,7 +94,28 @@ class StreamHmacAead(Aead):
 
     name = "sha256-stream-hmac"
 
+    def __init__(self, key: bytes):
+        super().__init__(key)
+        # SHA-256 state pre-fed with the 32-byte enc key; each keystream
+        # block resumes a cheap copy() instead of re-hashing the prefix.
+        self._stream_base = hashlib.sha256(self._enc_key)
+
     def _transform(self, nonce: bytes, data: bytes) -> bytes:
+        if not data:
+            return b""
+        base = self._stream_base.copy()
+        base.update(nonce)
+        n_blocks = -(-len(data) // 32)
+        pack = struct.pack
+        blocks = []
+        for i in range(n_blocks):
+            h = base.copy()
+            h.update(pack(">Q", i))
+            blocks.append(h.digest())
+        return xor_bytes(data, b"".join(blocks))
+
+    def _transform_reference(self, nonce: bytes, data: bytes) -> bytes:
+        """The original per-byte transform (oracle for ``_transform``)."""
         if not data:
             return b""
         prefix = self._enc_key + nonce
@@ -102,4 +124,4 @@ class StreamHmacAead(Aead):
             hashlib.sha256(prefix + struct.pack(">Q", i)).digest()
             for i in range(n_blocks)
         )
-        return bytes(a ^ b for a, b in zip(data, stream))
+        return xor_bytes_reference(data, stream)

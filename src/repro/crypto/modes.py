@@ -8,8 +8,16 @@ from __future__ import annotations
 import struct
 
 from repro.crypto.aes import AES
+from repro.crypto.kernels import xor_bytes
 
-__all__ = ["ctr_transform", "cbc_encrypt", "cbc_decrypt", "pkcs7_pad", "pkcs7_unpad"]
+__all__ = [
+    "ctr_transform",
+    "ctr_transform_reference",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+]
 
 
 def ctr_transform(cipher: AES, nonce: bytes, data: bytes, initial_counter: int = 0) -> bytes:
@@ -18,7 +26,30 @@ def ctr_transform(cipher: AES, nonce: bytes, data: bytes, initial_counter: int =
     The 16-byte counter block is ``nonce[:8] || 64-bit big-endian
     counter``, so a single (key, nonce) pair must never be reused —
     callers derive fresh nonces per object/block via HKDF.
+
+    The keystream blocks are batched and the XOR happens once over the
+    whole message (:func:`~repro.crypto.kernels.xor_bytes`) rather than
+    byte-at-a-time; :func:`ctr_transform_reference` is the oracle.
     """
+    if len(nonce) < 8:
+        raise ValueError("CTR nonce must be at least 8 bytes")
+    if not data:
+        return b""
+    prefix = nonce[:8]
+    encrypt_block = cipher.encrypt_block
+    pack = struct.pack
+    n_blocks = -(-len(data) // 16)
+    stream = b"".join(
+        encrypt_block(prefix + pack(">Q", initial_counter + i))
+        for i in range(n_blocks)
+    )
+    return xor_bytes(data, stream)
+
+
+def ctr_transform_reference(
+    cipher: AES, nonce: bytes, data: bytes, initial_counter: int = 0
+) -> bytes:
+    """The original per-byte CTR loop (oracle for :func:`ctr_transform`)."""
     if len(nonce) < 8:
         raise ValueError("CTR nonce must be at least 8 bytes")
     prefix = nonce[:8]
@@ -59,7 +90,7 @@ def cbc_encrypt(cipher: AES, iv: bytes, plaintext: bytes, pad: bool = True) -> b
     out = bytearray()
     prev = iv
     for offset in range(0, len(data), 16):
-        block = bytes(a ^ b for a, b in zip(data[offset:offset + 16], prev))
+        block = xor_bytes(data[offset:offset + 16], prev)
         prev = cipher.encrypt_block(block)
         out += prev
     return bytes(out)
@@ -75,6 +106,6 @@ def cbc_decrypt(cipher: AES, iv: bytes, ciphertext: bytes, pad: bool = True) -> 
     for offset in range(0, len(ciphertext), 16):
         block = ciphertext[offset:offset + 16]
         plain = cipher.decrypt_block(block)
-        out += bytes(a ^ b for a, b in zip(plain, prev))
+        out += xor_bytes(plain, prev)
         prev = block
     return pkcs7_unpad(bytes(out)) if pad else bytes(out)

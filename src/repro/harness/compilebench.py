@@ -9,6 +9,7 @@ scale=1.0 reproduces the paper's ~75k-op stream.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -20,6 +21,7 @@ from repro.harness.experiment import (
     build_nfs_rig,
 )
 from repro.harness.results import ResultTable
+from repro.harness.runner import attach_perf, run_arms, run_tasks
 from repro.net import BROADBAND, DSL, LAN, THREE_G, NetEnv
 from repro.workloads import ApacheCompileWorkload
 
@@ -33,6 +35,7 @@ __all__ = [
     "fig8b_paired_device",
     "fig10_fs_comparison",
     "prefetch_policy_comparison",
+    "ablation_ibe_cost",
 ]
 
 
@@ -182,129 +185,239 @@ def run_parallel_compile(
     return result, rig
 
 
+def _fig7_arm(network: NetEnv, texp: float, scale: float) -> tuple:
+    config = KeypadConfig(texp=texp, prefetch="none", ibe_enabled=False)
+    result = run_compile("keypad", network, config, scale)
+    return (network.name, texp, result.seconds, result.blocking_key_fetches)
+
+
 def fig7_key_expiration(
     texps: tuple[float, ...] = (1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0),
     networks: tuple[NetEnv, ...] = (LAN, BROADBAND, DSL, THREE_G),
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> ResultTable:
-    """Compile time vs key expiration, caching only (no prefetch/IBE)."""
+    """Compile time vs key expiration, caching only (no prefetch/IBE).
+
+    The ``(network, Texp)`` grid fans across ``jobs`` worker processes
+    (default: ``KEYPAD_BENCH_JOBS``); rows merge in grid order so the
+    rendered table is byte-identical at any job count.
+    """
+    scale = default_scale() if scale is None else scale
     table = ResultTable(
         "Figure 7: effect of key expiration time on Apache compile (s)",
         ["network", "texp_s", "compile_s", "blocking_fetches"],
     )
-    for network in networks:
-        for texp in texps:
-            config = KeypadConfig(texp=texp, prefetch="none", ibe_enabled=False)
-            result = run_compile("keypad", network, config, scale)
-            table.add(network.name, texp, result.seconds,
-                      result.blocking_key_fetches)
+    arms = [(network, texp, scale) for network in networks for texp in texps]
+    wall0 = time.perf_counter()
+    results = run_arms(
+        _fig7_arm, arms, jobs=jobs,
+        labels=[f"{network.name}/texp={texp:g}" for network, texp, _ in arms],
+    )
+    for result in results:
+        table.add(*result.value)
     table.note("paper anchors @Texp=100s: LAN 115s, Broadband 153s, "
                "DSL 292s, 3G 551s; EncFS 112s, ext3 63s")
+    attach_perf(
+        table, "fig7_key_expiration", results, rpcs=lambda row: row[3],
+        jobs=jobs, wall_s=time.perf_counter() - wall0, scale=scale,
+    )
     return table
 
 
+def _prefetch_arm(network: NetEnv, policy: str, scale: float) -> CompileResult:
+    config = KeypadConfig(texp=100.0, prefetch=policy, ibe_enabled=False)
+    return run_compile("keypad", network, config, scale)
+
+
 def prefetch_policy_comparison(
-    network: NetEnv = THREE_G, scale: Optional[float] = None
+    network: NetEnv = THREE_G, scale: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> ResultTable:
     """§5.1.1: prefetch on 1st/3rd/10th miss vs none (Texp=100 s)."""
+    scale = default_scale() if scale is None else scale
     table = ResultTable(
         "Directory-key prefetching policies (Apache compile, 3G)",
         ["policy", "compile_s", "blocking_fetches", "prefetched_keys",
          "improvement_vs_none_%"],
     )
-    base = run_compile(
-        "keypad", network,
-        KeypadConfig(texp=100.0, prefetch="none", ibe_enabled=False), scale,
+    policies = ["none"] + [f"dir:{threshold}" for threshold in (1, 3, 10)]
+    wall0 = time.perf_counter()
+    results = run_arms(
+        _prefetch_arm, [(network, policy, scale) for policy in policies],
+        labels=policies, jobs=jobs,
     )
+    base = results[0].value
     table.add("none", base.seconds, base.blocking_key_fetches, 0, 0.0)
-    for threshold in (1, 3, 10):
-        config = KeypadConfig(
-            texp=100.0, prefetch=f"dir:{threshold}", ibe_enabled=False
-        )
-        result = run_compile("keypad", network, config, scale)
+    for arm in results[1:]:
+        result = arm.value
         improvement = 100.0 * (base.seconds - result.seconds) / base.seconds
-        table.add(f"dir:{threshold}", result.seconds,
-                  result.blocking_key_fetches, result.prefetched_keys,
-                  improvement)
+        table.add(arm.label, result.seconds, result.blocking_key_fetches,
+                  result.prefetched_keys, improvement)
     table.note("paper: misses 486 -> 101/249/424 for prefetch on "
                "1st/3rd/10th miss; 63.3%/24.1%/2.4% improvement over 3G")
+    attach_perf(
+        table, "prefetch_policies", results,
+        rpcs=lambda r: r.blocking_key_fetches + r.blocking_metadata_ops,
+        jobs=jobs, wall_s=time.perf_counter() - wall0, scale=scale,
+    )
     return table
+
+
+def _baseline_arm(fs_kind: str, scale: float) -> float:
+    return run_compile(fs_kind, scale=scale).seconds
+
+
+def _fig8a_arm(rtt: float, scale: float) -> tuple:
+    network = NetEnv(f"rtt{rtt}", rtt / 1000.0)
+    no_ibe = run_compile(
+        "keypad", network,
+        KeypadConfig(texp=100.0, prefetch="dir:3", ibe_enabled=False),
+        scale,
+    ).seconds
+    with_ibe = run_compile(
+        "keypad", network,
+        KeypadConfig(texp=100.0, prefetch="dir:3", ibe_enabled=True),
+        scale,
+    ).seconds
+    return (rtt, no_ibe, with_ibe)
 
 
 def fig8a_ibe_effect(
     rtts_ms: tuple[float, ...] = (0.1, 2.0, 8.0, 25.0, 60.0, 125.0, 300.0),
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> ResultTable:
     """Compile time vs RTT, with and without IBE (caching+prefetch on)."""
+    scale = default_scale() if scale is None else scale
     table = ResultTable(
         "Figure 8(a): effect of IBE vs network RTT (Apache compile, s)",
         ["rtt_ms", "keypad_no_ibe_s", "keypad_ibe_s", "encfs_s", "ext3_s"],
     )
-    encfs = run_compile("encfs", scale=scale).seconds
-    ext3 = run_compile("ext3", scale=scale).seconds
-    for rtt in rtts_ms:
-        network = NetEnv(f"rtt{rtt}", rtt / 1000.0)
-        no_ibe = run_compile(
-            "keypad", network,
-            KeypadConfig(texp=100.0, prefetch="dir:3", ibe_enabled=False),
-            scale,
-        ).seconds
-        with_ibe = run_compile(
-            "keypad", network,
-            KeypadConfig(texp=100.0, prefetch="dir:3", ibe_enabled=True),
-            scale,
-        ).seconds
+    tasks = [(_baseline_arm, ("encfs", scale)), (_baseline_arm, ("ext3", scale))]
+    tasks += [(_fig8a_arm, (rtt, scale)) for rtt in rtts_ms]
+    labels = ["encfs", "ext3"] + [f"rtt={rtt:g}ms" for rtt in rtts_ms]
+    wall0 = time.perf_counter()
+    results = run_tasks(tasks, labels=labels, jobs=jobs)
+    encfs, ext3 = results[0].value, results[1].value
+    for arm in results[2:]:
+        rtt, no_ibe, with_ibe = arm.value
         table.add(rtt, no_ibe, with_ibe, encfs, ext3)
     table.note("paper: IBE crossover ~25 ms RTT; 36.9% improvement on 3G")
+    attach_perf(table, "fig8a_ibe_effect", results, jobs=jobs,
+                wall_s=time.perf_counter() - wall0, scale=scale)
     return table
+
+
+def _fig8b_arm(rtt: float, scale: float) -> tuple:
+    network = NetEnv(f"rtt{rtt}", rtt / 1000.0)
+    config = KeypadConfig(texp=100.0, prefetch="dir:3",
+                          ibe_enabled=rtt >= 25.0)
+    without = run_compile("keypad", network, config, scale).seconds
+    with_phone = run_compile(
+        "keypad", network, config, scale, with_phone=True
+    ).seconds
+    return (rtt, without, with_phone)
 
 
 def fig8b_paired_device(
     rtts_ms: tuple[float, ...] = (0.1, 2.0, 8.0, 25.0, 60.0, 125.0, 300.0),
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> ResultTable:
     """Compile time vs RTT with and without the paired phone."""
+    scale = default_scale() if scale is None else scale
     table = ResultTable(
         "Figure 8(b): effect of device pairing vs network RTT (s)",
         ["rtt_ms", "keypad_no_phone_s", "keypad_with_phone_s",
          "encfs_s", "ext3_s"],
     )
-    encfs = run_compile("encfs", scale=scale).seconds
-    ext3 = run_compile("ext3", scale=scale).seconds
-    for rtt in rtts_ms:
-        network = NetEnv(f"rtt{rtt}", rtt / 1000.0)
-        config = KeypadConfig(texp=100.0, prefetch="dir:3",
-                              ibe_enabled=rtt >= 25.0)
-        without = run_compile("keypad", network, config, scale).seconds
-        with_phone = run_compile(
-            "keypad", network, config, scale, with_phone=True
-        ).seconds
+    tasks = [(_baseline_arm, ("encfs", scale)), (_baseline_arm, ("ext3", scale))]
+    tasks += [(_fig8b_arm, (rtt, scale)) for rtt in rtts_ms]
+    labels = ["encfs", "ext3"] + [f"rtt={rtt:g}ms" for rtt in rtts_ms]
+    wall0 = time.perf_counter()
+    results = run_tasks(tasks, labels=labels, jobs=jobs)
+    encfs, ext3 = results[0].value, results[1].value
+    for arm in results[2:]:
+        rtt, without, with_phone = arm.value
         table.add(rtt, without, with_phone, encfs, ext3)
     table.note("paper: pairing always wins on cellular; disconnected "
                "Bluetooth performance is broadband-class")
+    attach_perf(table, "fig8b_paired_device", results, jobs=jobs,
+                wall_s=time.perf_counter() - wall0, scale=scale)
     return table
+
+
+def _fig10_arm(rtt: float, scale: float) -> tuple:
+    network = NetEnv(f"rtt{rtt}", rtt / 1000.0)
+    config = KeypadConfig(texp=100.0, prefetch="dir:3",
+                          ibe_enabled=rtt >= 25.0)
+    keypad = run_compile("keypad", network, config, scale).seconds
+    nfs = run_compile("nfs", network, scale=scale).seconds
+    return (rtt, keypad, nfs)
 
 
 def fig10_fs_comparison(
     rtts_ms: tuple[float, ...] = (0.1, 2.0, 8.0, 25.0, 60.0, 125.0, 300.0),
     scale: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> ResultTable:
     """Keypad vs ext3 / EncFS / NFS compile-time ratios vs RTT."""
+    scale = default_scale() if scale is None else scale
     table = ResultTable(
         "Figure 10: Keypad-to-other-FS compile time ratios vs RTT",
         ["rtt_ms", "keypad_s", "nfs_s", "encfs_s", "ext3_s",
          "keypad/nfs", "keypad/encfs", "keypad/ext3"],
     )
-    encfs = run_compile("encfs", scale=scale).seconds
-    ext3 = run_compile("ext3", scale=scale).seconds
-    for rtt in rtts_ms:
-        network = NetEnv(f"rtt{rtt}", rtt / 1000.0)
-        config = KeypadConfig(texp=100.0, prefetch="dir:3",
-                              ibe_enabled=rtt >= 25.0)
-        keypad = run_compile("keypad", network, config, scale).seconds
-        nfs = run_compile("nfs", network, scale=scale).seconds
+    tasks = [(_baseline_arm, ("encfs", scale)), (_baseline_arm, ("ext3", scale))]
+    tasks += [(_fig10_arm, (rtt, scale)) for rtt in rtts_ms]
+    labels = ["encfs", "ext3"] + [f"rtt={rtt:g}ms" for rtt in rtts_ms]
+    wall0 = time.perf_counter()
+    results = run_tasks(tasks, labels=labels, jobs=jobs)
+    encfs, ext3 = results[0].value, results[1].value
+    for arm in results[2:]:
+        rtt, keypad, nfs = arm.value
         table.add(rtt, keypad, nfs, encfs, ext3,
                   keypad / nfs, keypad / encfs, keypad / ext3)
     table.note("paper: NFS faster than Keypad on a LAN (Keypad/NFS 1.75), "
                "8.8% slower at 2 ms, 36.4x slower at 300 ms")
+    attach_perf(table, "fig10_fs_comparison", results, jobs=jobs,
+                wall_s=time.perf_counter() - wall0, scale=scale)
+    return table
+
+
+def _ablation_ibe_arm(label: str, ibe: bool, zero_ibe_cost: bool,
+                      scale: float) -> tuple:
+    from repro.costmodel import DEFAULT_COSTS
+
+    config = KeypadConfig(texp=100.0, prefetch="dir:3", ibe_enabled=ibe)
+    costs = DEFAULT_COSTS.without_ibe_cost() if zero_ibe_cost else None
+    result = run_compile("keypad", THREE_G, config, scale,
+                         costs_override=costs)
+    return (label, result.seconds,
+            result.blocking_key_fetches + result.blocking_metadata_ops)
+
+
+def ablation_ibe_cost(
+    scale: Optional[float] = None, jobs: Optional[int] = None
+) -> ResultTable:
+    """Ablation: IBE protocol benefit vs the IBE compute cost itself."""
+    scale = default_scale() if scale is None else scale
+    table = ResultTable(
+        "Ablation: IBE protocol vs IBE compute cost (Apache, 3G)",
+        ["configuration", "compile_s"],
+    )
+    arms = [
+        ("no IBE (blocking metadata)", False, False, scale),
+        ("IBE, real cost", True, False, scale),
+        ("IBE, compute cost zeroed", True, True, scale),
+    ]
+    wall0 = time.perf_counter()
+    results = run_arms(_ablation_ibe_arm, arms,
+                       labels=[arm[0] for arm in arms], jobs=jobs)
+    for arm in results:
+        table.add(arm.value[0], arm.value[1])
+    attach_perf(table, "ablation_ibe_cost", results,
+                rpcs=lambda row: row[2], jobs=jobs,
+                wall_s=time.perf_counter() - wall0, scale=scale)
     return table

@@ -10,12 +10,15 @@
 
 from __future__ import annotations
 
+import time
+from typing import Optional
 
 from repro.attack import run_scenario
 from repro.core import KeypadConfig
 from repro.forensics import AuditTool, analyze_fidelity
 from repro.harness.experiment import build_keypad_rig
 from repro.harness.results import ResultTable
+from repro.harness.runner import attach_perf, run_arms
 from repro.net import THREE_G, NetEnv
 from repro.workloads import (
     UsageTraceWorkload,
@@ -48,26 +51,40 @@ def run_trace(
     return rig, workload
 
 
+def _fig11_arm(policy: str, texp: float, days: float,
+               network: NetEnv) -> tuple:
+    rig, workload = run_trace(texp, policy, days=days, network=network)
+    avg = average_over_windows(
+        rig.fs.key_cache.occupancy.samples, workload.sessions
+    )
+    return (policy, texp, avg, rig.fs.key_cache.occupancy.peak)
+
+
 def fig11_key_exposure(
     texps: tuple[float, ...] = (1.0, 10.0, 100.0, 1000.0),
     policies: tuple[str, ...] = ("none", "dir:3", "dir:1"),
     days: float = 12.0,
     network: NetEnv = THREE_G,
+    jobs: Optional[int] = None,
 ) -> ResultTable:
     """Average in-memory key-set size during use periods."""
     table = ResultTable(
         "Figure 11: avg keys in memory during use periods",
         ["prefetch", "texp_s", "avg_keys_in_memory", "peak_keys"],
     )
-    for policy in policies:
-        for texp in texps:
-            rig, workload = run_trace(texp, policy, days=days, network=network)
-            avg = average_over_windows(
-                rig.fs.key_cache.occupancy.samples, workload.sessions
-            )
-            table.add(policy, texp, avg, rig.fs.key_cache.occupancy.peak)
+    arms = [(policy, texp, days, network)
+            for policy in policies for texp in texps]
+    wall0 = time.perf_counter()
+    results = run_arms(
+        _fig11_arm, arms, jobs=jobs,
+        labels=[f"{policy}/texp={texp:g}" for policy, texp, _d, _n in arms],
+    )
+    for arm in results:
+        table.add(*arm.value)
     table.note("paper: ~38 keys at Texp=100s with prefetch-on-3rd-miss; "
                "small for reasonable expiration/prefetch settings")
+    attach_perf(table, "fig11_key_exposure", results, jobs=jobs,
+                wall_s=time.perf_counter() - wall0, days=days)
     return table
 
 

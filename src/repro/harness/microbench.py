@@ -10,11 +10,13 @@ Measures single-operation latencies with a warm disk buffer cache:
 
 from __future__ import annotations
 
-
+import time
+from typing import Optional
 
 from repro.core import KeypadConfig
 from repro.harness.experiment import build_encfs_rig, build_keypad_rig
 from repro.harness.results import ResultTable
+from repro.harness.runner import attach_perf, run_tasks
 from repro.net import LAN, THREE_G, NetEnv
 
 __all__ = ["fig6a_content_ops", "fig6b_metadata_ops", "encfs_baseline_ops"]
@@ -69,94 +71,133 @@ def _keypad_rig(network: NetEnv, ibe: bool):
     return build_keypad_rig(network=network, config=config)
 
 
-def fig6a_content_ops(networks: tuple[NetEnv, ...] = (LAN, THREE_G)) -> ResultTable:
+def _fig6a_arm(network: NetEnv) -> list[tuple]:
+    """All four Figure 6(a) rows for one network environment."""
+    rig = _keypad_rig(network, ibe=False)
+
+    def setup():
+        yield from rig.fs.mkdir("/d")
+        yield from rig.fs.create("/d/f")
+        yield from rig.fs.write("/d/f", 0, _PAYLOAD)
+        yield from rig.fs.read("/d/f", 0, 4096)
+        return None
+
+    rig.run(setup())
+
+    def cold_read():
+        rig.fs.key_cache.evict_all()
+        return rig.fs.read("/d/f", 0, 4096)
+
+    def warm_read():
+        return rig.fs.read("/d/f", 0, 4096)
+
+    def cold_write():
+        rig.fs.key_cache.evict_all()
+        return rig.fs.write("/d/f", 0, _PAYLOAD)
+
+    def warm_write():
+        return rig.fs.write("/d/f", 0, _PAYLOAD)
+
+    return [
+        ("read", "miss", network.name, _timed(rig, cold_read) * 1000),
+        ("read", "hit", network.name, _timed(rig, warm_read) * 1000),
+        ("write", "miss", network.name, _timed(rig, cold_write) * 1000),
+        ("write", "hit", network.name, _timed(rig, warm_write) * 1000),
+    ]
+
+
+def fig6a_content_ops(
+    networks: tuple[NetEnv, ...] = (LAN, THREE_G),
+    jobs: Optional[int] = None,
+) -> ResultTable:
     """Read/write latency for key-cache misses and hits."""
     table = ResultTable(
         "Figure 6(a): content-operation latency (ms)",
         ["op", "cache", "network", "latency_ms"],
     )
-    base = encfs_baseline_ops()
+    tasks = [(encfs_baseline_ops, ())]
+    tasks += [(_fig6a_arm, (network,)) for network in networks]
+    labels = ["encfs-baseline"] + [network.name for network in networks]
+    wall0 = time.perf_counter()
+    results = run_tasks(tasks, labels=labels, jobs=jobs)
+    base = results[0].value
     table.note(
         f"EncFS baselines: read {base['read']*1000:.3f} ms, "
         f"write {base['write']*1000:.3f} ms "
         "(paper: 0.337 / 0.453 ms)"
     )
-    for network in networks:
-        rig = _keypad_rig(network, ibe=False)
-
-        def setup():
-            yield from rig.fs.mkdir("/d")
-            yield from rig.fs.create("/d/f")
-            yield from rig.fs.write("/d/f", 0, _PAYLOAD)
-            yield from rig.fs.read("/d/f", 0, 4096)
-            return None
-
-        rig.run(setup())
-
-        def cold_read():
-            rig.fs.key_cache.evict_all()
-            return rig.fs.read("/d/f", 0, 4096)
-
-        def warm_read():
-            return rig.fs.read("/d/f", 0, 4096)
-
-        def cold_write():
-            rig.fs.key_cache.evict_all()
-            return rig.fs.write("/d/f", 0, _PAYLOAD)
-
-        def warm_write():
-            return rig.fs.write("/d/f", 0, _PAYLOAD)
-
-        table.add("read", "miss", network.name, _timed(rig, cold_read) * 1000)
-        table.add("read", "hit", network.name, _timed(rig, warm_read) * 1000)
-        table.add("write", "miss", network.name, _timed(rig, cold_write) * 1000)
-        table.add("write", "hit", network.name, _timed(rig, warm_write) * 1000)
+    for arm in results[1:]:
+        for row in arm.value:
+            table.add(*row)
+    attach_perf(table, "fig6a_content_ops", results, jobs=jobs,
+                wall_s=time.perf_counter() - wall0)
     return table
 
 
-def fig6b_metadata_ops(networks: tuple[NetEnv, ...] = (LAN, THREE_G)) -> ResultTable:
+def _fig6b_arm(network: NetEnv, ibe: bool) -> list[tuple]:
+    """The Figure 6(b) rows for one (network, IBE) cell."""
+    rig = _keypad_rig(network, ibe=ibe)
+    rig.run(rig.fs.mkdir("/d"))
+    serial = [0]
+
+    def create_op():
+        serial[0] += 1
+        return rig.fs.create(f"/d/c{serial[0]:05d}")
+
+    create_ms = _timed(rig, create_op) * 1000
+
+    # Renames are timed against pre-created, settled files so
+    # the measurement reflects the rename alone.
+    def prepare_rename_sources():
+        for i in range(_TRIALS):
+            yield from rig.fs.create(f"/d/r{i:05d}.tmp")
+        yield rig.sim.timeout(30.0)  # registrations settle
+        return None
+
+    rig.run(prepare_rename_sources())
+    rename_serial = [0]
+
+    def rename_op():
+        i = rename_serial[0]
+        rename_serial[0] += 1
+        return rig.fs.rename(f"/d/r{i:05d}.tmp", f"/d/r{i:05d}.doc")
+
+    rename_ms = _timed(rig, rename_op) * 1000
+    label = "with IBE" if ibe else "without IBE"
+    rows = [
+        ("create", label, network.name, create_ms),
+        ("rename", label, network.name, rename_ms),
+    ]
+    if not ibe:
+        def mkdir_op():
+            serial[0] += 1
+            return rig.fs.mkdir(f"/d/m{serial[0]:05d}")
+
+        rows.append(("mkdir", "n/a", network.name,
+                     _timed(rig, mkdir_op) * 1000))
+    return rows
+
+
+def fig6b_metadata_ops(
+    networks: tuple[NetEnv, ...] = (LAN, THREE_G),
+    jobs: Optional[int] = None,
+) -> ResultTable:
     """create/rename ± IBE and mkdir latency."""
     table = ResultTable(
         "Figure 6(b): metadata-operation latency (ms)",
         ["op", "ibe", "network", "latency_ms"],
     )
-    for network in networks:
-        for ibe in (False, True):
-            rig = _keypad_rig(network, ibe=ibe)
-            rig.run(rig.fs.mkdir("/d"))
-            serial = [0]
-
-            def create_op():
-                serial[0] += 1
-                return rig.fs.create(f"/d/c{serial[0]:05d}")
-
-            create_ms = _timed(rig, create_op) * 1000
-
-            # Renames are timed against pre-created, settled files so
-            # the measurement reflects the rename alone.
-            def prepare_rename_sources():
-                for i in range(_TRIALS):
-                    yield from rig.fs.create(f"/d/r{i:05d}.tmp")
-                yield rig.sim.timeout(30.0)  # registrations settle
-                return None
-
-            rig.run(prepare_rename_sources())
-            rename_serial = [0]
-
-            def rename_op():
-                i = rename_serial[0]
-                rename_serial[0] += 1
-                return rig.fs.rename(f"/d/r{i:05d}.tmp", f"/d/r{i:05d}.doc")
-
-            rename_ms = _timed(rig, rename_op) * 1000
-            label = "with IBE" if ibe else "without IBE"
-            table.add("create", label, network.name, create_ms)
-            table.add("rename", label, network.name, rename_ms)
-            if not ibe:
-                def mkdir_op():
-                    serial[0] += 1
-                    return rig.fs.mkdir(f"/d/m{serial[0]:05d}")
-
-                table.add("mkdir", "n/a", network.name,
-                          _timed(rig, mkdir_op) * 1000)
+    arms = [(network, ibe) for network in networks for ibe in (False, True)]
+    wall0 = time.perf_counter()
+    results = run_tasks(
+        [(_fig6b_arm, arm) for arm in arms],
+        labels=[f"{network.name}/{'ibe' if ibe else 'no-ibe'}"
+                for network, ibe in arms],
+        jobs=jobs,
+    )
+    for arm in results:
+        for row in arm.value:
+            table.add(*row)
+    attach_perf(table, "fig6b_metadata_ops", results, jobs=jobs,
+                wall_s=time.perf_counter() - wall0)
     return table

@@ -1,0 +1,230 @@
+"""Parallel experiment engine with a machine-readable perf trajectory.
+
+Every figure/table in the evaluation is a grid of independent *arms* —
+``(network, Texp)`` cells in Figure 7, per-RTT points in Figures 8/10,
+``(policy, Texp)`` trace runs in Figure 11 — each of which builds its
+own fresh :class:`~repro.sim.Simulation` from an explicit seed.  That
+makes them embarrassingly parallel: this module fans arms across a
+``multiprocessing`` pool and merges results back **in submission
+order**, so the rendered tables are byte-identical regardless of the
+job count.
+
+Knobs
+-----
+* ``KEYPAD_BENCH_JOBS`` — worker processes (default 1 = run every arm
+  serially in-process, the exact legacy code path: no pool, no pickling,
+  no forking).
+* Seeds — arms never derive seeds from wall-clock, PIDs, or submission
+  timing.  Use :func:`derive_arm_seed` to give an arm a stable seed that
+  depends only on the experiment name and the arm's own parameters.
+
+Perf trajectory
+---------------
+Each arm is timed (wall + CPU, measured inside the worker) and the
+per-arm blocking-RPC count is extracted from its payload at merge time.
+:func:`attach_perf` hangs a :class:`BenchPerf` off the result table, and
+``benchmarks/conftest.py`` emits it as
+``benchmarks/results/BENCH_<name>.json`` next to the rendered ``.txt`` —
+a machine-readable record future PRs can diff instead of anecdotes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.crypto.sha256 import sha256_fast
+
+__all__ = [
+    "ArmResult",
+    "ArmPerf",
+    "BenchPerf",
+    "bench_jobs",
+    "derive_arm_seed",
+    "run_arms",
+    "run_tasks",
+    "attach_perf",
+    "write_bench_json",
+]
+
+
+def bench_jobs() -> int:
+    """Worker count from ``KEYPAD_BENCH_JOBS`` (default 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("KEYPAD_BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def derive_arm_seed(base: bytes, *parts: Any) -> bytes:
+    """A 16-byte seed depending only on ``base`` and the arm identity.
+
+    Parts are rendered with ``str()`` (bytes pass through), so
+    ``derive_arm_seed(b"fig7", "3G", 1.0)`` is stable across runs,
+    processes, and job counts.
+    """
+    material = bytearray(base)
+    for part in parts:
+        material += b"|"
+        material += part if isinstance(part, bytes) else str(part).encode()
+    return sha256_fast(bytes(material))[:16]
+
+
+@dataclass
+class ArmResult:
+    """One executed arm: its payload plus worker-side timings."""
+
+    label: str
+    value: Any
+    wall_s: float
+    cpu_s: float
+
+
+@dataclass
+class ArmPerf:
+    label: str
+    wall_s: float
+    cpu_s: float
+    blocking_rpcs: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "blocking_rpcs": self.blocking_rpcs,
+        }
+
+
+@dataclass
+class BenchPerf:
+    """The machine-readable perf record for one benchmark run."""
+
+    bench: str
+    jobs: int
+    arms: list[ArmPerf] = field(default_factory=list)
+    total_wall_s: float = 0.0
+    total_cpu_s: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "bench": self.bench,
+            "jobs": self.jobs,
+            "total_wall_s": round(self.total_wall_s, 6),
+            "total_cpu_s": round(self.total_cpu_s, 6),
+            "arm_count": len(self.arms),
+            "arms": [arm.as_dict() for arm in self.arms],
+            "meta": self.meta,
+        }
+
+
+def _run_one(packed: tuple) -> tuple:
+    """Worker body: run one arm and time it (wall + CPU in-process)."""
+    fn, args = packed
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    value = fn(*args)
+    return value, time.perf_counter() - wall0, time.process_time() - cpu0
+
+
+def _pool_context():
+    # fork keeps startup cheap and inherits the bench env knobs; fall
+    # back to the platform default where fork is unavailable.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover
+        return multiprocessing.get_context()
+
+
+def run_tasks(
+    tasks: Sequence[tuple[Callable, tuple]],
+    labels: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+) -> list[ArmResult]:
+    """Run ``(fn, args)`` tasks, serially or across a process pool.
+
+    Results always come back in submission order.  ``jobs=None`` reads
+    ``KEYPAD_BENCH_JOBS``; ``jobs<=1`` executes in-process with no pool
+    at all (the exact legacy behaviour).  Functions and arguments must
+    be picklable (module-level functions, plain data) when ``jobs>1``.
+    """
+    if labels is None:
+        labels = [f"arm-{i}" for i in range(len(tasks))]
+    if len(labels) != len(tasks):
+        raise ValueError("labels/tasks length mismatch")
+    jobs = bench_jobs() if jobs is None else max(1, int(jobs))
+    packed = list(tasks)
+    if jobs <= 1 or len(packed) <= 1:
+        raw = [_run_one(p) for p in packed]
+    else:
+        with _pool_context().Pool(min(jobs, len(packed))) as pool:
+            raw = pool.map(_run_one, packed)
+    return [
+        ArmResult(label=label, value=value, wall_s=wall, cpu_s=cpu)
+        for label, (value, wall, cpu) in zip(labels, raw)
+    ]
+
+
+def run_arms(
+    fn: Callable,
+    arms: Sequence[tuple],
+    labels: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+) -> list[ArmResult]:
+    """Run ``fn(*arm)`` for every arm (see :func:`run_tasks`)."""
+    if labels is None:
+        labels = ["/".join(str(a) for a in arm) for arm in arms]
+    return run_tasks([(fn, tuple(arm)) for arm in arms], labels, jobs)
+
+
+def attach_perf(
+    table: Any,
+    bench: str,
+    results: Sequence[ArmResult],
+    rpcs: Optional[Callable[[Any], int]] = None,
+    jobs: Optional[int] = None,
+    wall_s: Optional[float] = None,
+    **meta: Any,
+) -> BenchPerf:
+    """Build a :class:`BenchPerf` from arm results and hang it off
+    ``table.perf`` for the benchmark plumbing to emit as JSON.
+
+    ``rpcs`` extracts the arm's blocking-RPC count from its payload;
+    ``wall_s`` overrides total wall time (with a pool the sum of arm
+    walls overstates the elapsed time).
+    """
+    arms = [
+        ArmPerf(
+            label=r.label,
+            wall_s=r.wall_s,
+            cpu_s=r.cpu_s,
+            blocking_rpcs=int(rpcs(r.value)) if rpcs is not None else 0,
+        )
+        for r in results
+    ]
+    perf = BenchPerf(
+        bench=bench,
+        jobs=bench_jobs() if jobs is None else jobs,
+        arms=arms,
+        total_wall_s=sum(a.wall_s for a in arms) if wall_s is None else wall_s,
+        total_cpu_s=sum(a.cpu_s for a in arms),
+        meta=dict(meta),
+    )
+    table.perf = perf
+    return perf
+
+
+def write_bench_json(perf: BenchPerf, directory) -> str:
+    """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+    import pathlib
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{perf.bench}.json"
+    path.write_text(json.dumps(perf.as_dict(), indent=2, sort_keys=True) + "\n")
+    return str(path)

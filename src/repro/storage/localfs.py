@@ -111,6 +111,13 @@ class LocalFileSystem(FsInterface):
         assert root.ino == ROOT_INO
         root.nlink = 2
         self.op_counts: dict[str, int] = {}
+        # Decoded-directory cache: ino -> (raw bytes, parsed entries).
+        # Every load still performs the block reads (the simulated cost
+        # is unchanged); the cache only skips the CPU-side re-parse when
+        # the on-disk bytes match what was last packed/parsed.  Matching
+        # on the raw bytes *is* the dirty tracking: any write that
+        # changes the directory changes the bytes and misses the cache.
+        self._dir_cache: dict[int, tuple[bytes, dict[str, int]]] = {}
         # Namespace mutations are read-modify-write over directory
         # blocks; concurrent sim processes must serialize them exactly
         # as the kernel's VFS serializes directory updates with i_mutex.
@@ -222,10 +229,17 @@ class LocalFileSystem(FsInterface):
         if not inode.is_dir:
             raise NotADirectory(f"inode {inode.ino} is not a directory")
         raw = yield from self._read_inode_data(inode, 0, inode.size)
-        return _unpack_dir(raw)
+        cached = self._dir_cache.get(inode.ino)
+        if cached is not None and cached[0] == raw:
+            return dict(cached[1])  # copy: callers mutate their view
+        entries = _unpack_dir(raw)
+        self._dir_cache[inode.ino] = (raw, dict(entries))
+        return entries
 
     def _store_dir(self, inode: _Inode, entries: dict[str, int]) -> Generator:
-        yield from self._set_inode_data(inode, _pack_dir(entries))
+        packed = _pack_dir(entries)
+        self._dir_cache[inode.ino] = (packed, dict(entries))
+        yield from self._set_inode_data(inode, packed)
         return None
 
     def _resolve(self, path: str) -> Generator:
@@ -398,6 +412,7 @@ class LocalFileSystem(FsInterface):
         yield from self._store_dir(parent, entries)
         parent.nlink -= 1
         del self._inodes[inode.ino]
+        self._dir_cache.pop(inode.ino, None)
         return None
 
     def rename(self, old: str, new: str) -> Generator:
@@ -443,6 +458,7 @@ class LocalFileSystem(FsInterface):
                 if children:
                     raise DirectoryNotEmpty(new)
                 del self._inodes[existing_ino]
+                self._dir_cache.pop(existing_ino, None)
                 new_parent.nlink -= 1
             else:
                 if moving.is_dir:
