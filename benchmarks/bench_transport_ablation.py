@@ -168,3 +168,75 @@ def test_transport_ablation_parallel_compile(benchmark, record_table):
         100.0 * (default["fs_time_s"] - fast["fs_time_s"])
         / default["fs_time_s"], 1,
     )
+
+
+def test_transport_ablation_trace_reconciliation(benchmark, record_table):
+    """Tracing on: the span tree's blocking-RPC count must equal the
+    channel-counter formula exactly, on both transport arms — proof the
+    trace is complete (no RPC escapes its span) and honest (no span
+    without a wire call)."""
+    base = KeypadConfig(texp=3.0, prefetch="none", ibe_enabled=False)
+    arms = (
+        ("default", base.with_tracing()),
+        ("fast-transport", base.with_fast_transport().with_tracing()),
+    )
+
+    def run():
+        table = ResultTable(
+            "Trace reconciliation: span totals vs channel counters "
+            "(3G, make -j8, small scale)",
+            ["run", "span_blocking", "counter_blocking", "rpc_total",
+             "handshakes", "non_blocking"],
+        )
+        summaries = {}
+        for label, config in arms:
+            _result, rig = run_parallel_compile(
+                network=THREE_G, config=config, jobs=8,
+                include_cpu=False, scale=0.1,
+            )
+
+            def drain():
+                # Calls count at issue time, spans at completion: let
+                # in-flight background refreshes/flushes land before
+                # comparing the two.
+                yield rig.sim.timeout(30.0)
+
+            rig.run(drain())
+            tracer = rig.tracer
+            table.add(label, tracer.blocking_rpcs(),
+                      _blocking_rpcs(rig.services), tracer.rpc_total,
+                      tracer.rpc_handshakes, tracer.rpc_nonblocking)
+            summaries[label] = tracer.summary()
+        table.note("span_blocking = rpc spans - handshakes - write-behind "
+                   "spans; counter_blocking = channel calls - handshakes "
+                   "- write-behind flushes")
+        table.spans_summaries = summaries
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    from repro.harness.runner import ArmResult, attach_perf
+
+    rows = {row[0]: row for row in table.rows}
+    attach_perf(
+        table, "transport_trace",
+        [ArmResult(label=label, value=None, wall_s=0.0, cpu_s=0.0)
+         for label, _ in arms],
+        jobs=1,
+        spans_summary=table.spans_summaries,
+    )
+    for arm, perf_arm in zip(arms, table.perf.arms):
+        perf_arm.blocking_rpcs = rows[arm[0]][1]
+    record_table(table, "transport_trace")
+
+    for label, _config in arms:
+        _, span_blocking, counter_blocking, rpc_total, *_rest = rows[label]
+        assert span_blocking == counter_blocking, (
+            f"{label}: span-derived blocking RPCs ({span_blocking}) != "
+            f"channel-counter formula ({counter_blocking})"
+        )
+        assert rpc_total > 0
+    # The fast arm's handshakes and write-behind traffic are non-zero —
+    # the reconciliation is subtracting something real.
+    assert rows["fast-transport"][4] > 0
+    assert rows["fast-transport"][5] > 0

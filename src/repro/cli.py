@@ -20,6 +20,11 @@ Subcommands:
   Regenerate one of the paper's figures/tables through the parallel
   experiment engine, rendering the table and writing the
   machine-readable ``BENCH_<name>.json`` perf record.
+* ``keypad-audit trace [--check --fast --deadline S]``
+  Run a small traced workload and print each operation's span tree
+  (cache hit vs. blocking fetch vs. IBE work, with wire sizes), then
+  reconcile the trace's blocking-RPC spans against the transport
+  counters; exits 2 if the two bookkeeping paths disagree.
 """
 
 from __future__ import annotations
@@ -186,6 +191,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import KeypadConfig
+    from repro.harness import build_keypad_rig
+    from repro.net import THREE_G
+
+    config = KeypadConfig(
+        texp=args.texp, prefetch="dir:3", ibe_enabled=True,
+    ).with_tracing(op_deadline=args.deadline)
+    if args.fast:
+        config = config.with_fast_transport()
+    rig = build_keypad_rig(network=THREE_G, config=config)
+
+    def workload():
+        yield from rig.fs.mkdir("/home")
+        for name in ("medical.txt", "taxes.pdf", "notes.md", "diary.txt"):
+            yield from rig.fs.create(f"/home/{name}")
+            yield from rig.fs.write(f"/home/{name}", 0, b"confidential")
+        # Let every cached key expire, then re-read: the reads force
+        # blocking fetches and (on the third miss) a directory prefetch.
+        yield rig.sim.timeout(args.texp + 10.0)
+        for name in ("medical.txt", "taxes.pdf", "notes.md", "diary.txt"):
+            yield from rig.fs.read(f"/home/{name}", 0, 12)
+        # Drain background registrations / write-behind flushes.
+        yield rig.sim.timeout(30.0)
+
+    rig.run(workload())
+    collector = rig.tracer
+    if not args.check:
+        print(collector.render(max_ops=args.max_ops))
+        print()
+
+    merged = rig.services.channel_metrics()
+    counter_blocking = (merged.calls - merged.handshakes
+                        - rig.services.metrics.write_behind_flushes)
+    trace_blocking = collector.blocking_rpcs()
+    print(f"trace: {collector.op_count} ops, "
+          f"{collector.rpc_total} RPC spans "
+          f"({collector.rpc_handshakes} handshakes, "
+          f"{collector.rpc_nonblocking} non-blocking), "
+          f"deadline expiries: {collector.deadline_expiries}")
+    print(f"reconciliation: blocking RPC spans = {trace_blocking}, "
+          f"channel counters (calls - handshakes - flushes) = "
+          f"{counter_blocking}")
+    if trace_blocking != counter_blocking:
+        print("MISMATCH: the span tree and the transport counters "
+              "disagree about blocking round-trips", file=sys.stderr)
+        return 2
+    print("reconciled: span tree matches the blocking-RPC counters")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="keypad-audit",
@@ -246,6 +302,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="benchmarks/results",
                        help="directory for the BENCH_<name>.json record")
     bench.set_defaults(func=_cmd_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="per-op span trees from a traced workload, reconciled "
+             "against the transport counters",
+    )
+    trace.add_argument("--texp", type=float, default=100.0)
+    trace.add_argument("--deadline", type=float, default=None,
+                       help="per-operation deadline in sim seconds "
+                            "(default: none)")
+    trace.add_argument("--fast", action="store_true",
+                       help="enable the v2 transport (pipelining, "
+                            "coalescing, write-behind)")
+    trace.add_argument("--max-ops", type=int, default=40,
+                       help="cap on rendered per-op trees (default 40)")
+    trace.add_argument("--check", action="store_true",
+                       help="reconciliation only (no trees); exit 2 on "
+                            "mismatch")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -27,8 +27,13 @@ The failure model, all deterministic under seeded jitter:
   fetches are idempotent (retry tokens dedup the audit log) and extra
   share disclosures only add audit-log false positives, never false
   negatives.
-* **retries** — a gather that still fails is retried with exponential
-  backoff plus jitter, up to ``max_retries`` times.
+* **retries** — a gather that still fails is retried under the shared
+  :class:`repro.util.retry.RetryPolicy` (exponential backoff plus
+  seeded jitter, up to ``max_retries`` times); when the caller passes
+  an :class:`~repro.core.context.OpContext`, its operation-wide retry
+  budget caps the attempts and its deadline shortens each per-request
+  race, so a spent deadline surfaces as one uniform
+  :class:`~repro.errors.DeadlineExpiredError`.
 * **health tracking** — ``failure_threshold`` consecutive failures put
   a replica in a ``cooldown`` during which it ranks last; any later
   success (or an explicit ``key.health`` probe) restores it.
@@ -58,6 +63,7 @@ from repro.net.link import Link
 from repro.net.metrics import ClusterMetrics
 from repro.net.rpc import RpcChannel
 from repro.sim import Simulation, SimRandom
+from repro.util.retry import RetryPolicy, retrying
 from repro.core.client import DeviceServices, ServiceSession
 from repro.core.services.keyservice import REMOTE_KEY_LEN
 from repro.core.services.metadataservice import MetadataService
@@ -117,6 +123,7 @@ class ReplicatedKeyClient:
         repair_max_attempts: int = 6,
         rng: Optional[SimRandom] = None,
         share_seed: bytes = b"cluster-shares",
+        tracer=None,
     ):
         if len(links) != group.m:
             raise ValueError(f"{group.m} replicas need {group.m} links")
@@ -130,6 +137,11 @@ class ReplicatedKeyClient:
         self.max_retries = max_retries
         self.backoff = backoff
         self.backoff_cap = backoff_cap
+        # The legacy private backoff loop, as a shared policy object
+        # (identical delay math and jitter draw order).
+        self.retry_policy = RetryPolicy(
+            base=backoff, cap=backoff_cap, max_attempts=max_retries
+        )
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.dedup_window = dedup_window
@@ -145,6 +157,7 @@ class ReplicatedKeyClient:
                     sim, links[i], replica.server, device_id, device_secret,
                     costs=costs, rekey_interval=rekey_interval,
                     pipelining=pipelining, max_inflight=max_inflight,
+                    tracer=tracer,
                 ),
                 links[i],
             )
@@ -196,40 +209,52 @@ class ReplicatedKeyClient:
         raise payload
 
     # -- guarded transport ---------------------------------------------------
-    def _raw_call(self, ep: _Endpoint, method: str, params: dict) -> Generator:
+    def _raw_call(self, ep: _Endpoint, method: str, params: dict,
+                  ctx=None) -> Generator:
         """One replica RPC, returned as a tagged outcome (never raises,
         so racing processes cannot crash the kernel)."""
         try:
-            payload = yield from ep.channel.call(method, **params)
+            payload = yield from ep.channel.call(method, op_ctx=ctx, **params)
             return ("ok", payload)
         except _REPLICA_FAILURES as exc:
             return ("fail", exc)
         except _FATAL_FAILURES as exc:
             return ("fatal", exc)
 
-    def _guarded_call(self, ep: _Endpoint, method: str, params: dict) -> Generator:
-        """A replica RPC raced against the per-request deadline."""
+    def _guarded_call(self, ep: _Endpoint, method: str, params: dict,
+                      ctx=None) -> Generator:
+        """A replica RPC raced against the per-request deadline.
+
+        With an op context the race is against the *smaller* of the
+        replica deadline and the context's remaining end-to-end budget
+        (the channel also enforces the context deadline underneath, so
+        spans attribute the expiry wherever it actually fired).
+        """
+        deadline = self.deadline if self.deadline > 0 else float("inf")
+        if ctx is not None and ctx.deadline is not None:
+            deadline = min(deadline, max(0.0, ctx.remaining()))
         proc = self.sim.process(
-            self._raw_call(ep, method, params),
+            self._raw_call(ep, method, params, ctx),
             name=f"cluster-call-{method}-r{ep.index}",
         )
-        if self.deadline <= 0:
+        if deadline == float("inf"):
             outcome = yield proc
             return outcome
         winner, value = yield self.sim.any_of(
-            [proc, self.sim.timeout(self.deadline)]
+            [proc, self.sim.timeout(deadline)]
         )
         if winner == 0:
             return value
         proc.interrupt("deadline")
         self.metrics.deadline_expiries += 1
         return ("fail", DeadlineExpiredError(
-            f"replica {ep.index} missed the {self.deadline:g}s deadline "
+            f"replica {ep.index} missed the {deadline:g}s deadline "
             f"for {method}"
         ))
 
     # -- gather machinery ----------------------------------------------------
-    def _gather(self, need: int, method: str, params: dict, label: str) -> Generator:
+    def _gather(self, need: int, method: str, params: dict, label: str,
+                ctx=None) -> Generator:
         """Collect successful responses from ``need`` distinct replicas.
 
         Launches ``need`` workers against the best-ranked replicas,
@@ -250,7 +275,8 @@ class ReplicatedKeyClient:
             return True
 
         def worker(ep: _Endpoint) -> Generator:
-            tag, payload = yield from self._guarded_call(ep, method, params)
+            tag, payload = yield from self._guarded_call(ep, method, params,
+                                                         ctx)
             state["pending"] -= 1
             if done.triggered:
                 # The gather already settled; keep the health signal.
@@ -304,21 +330,27 @@ class ReplicatedKeyClient:
             f"only {len(state['results'])}/{need} replicas answered ({label})"
         )
 
-    def _retrying(self, need: int, method: str, params: dict, label: str) -> Generator:
-        """A gather wrapped in the exponential-backoff retry loop."""
-        attempt = 0
-        while True:
-            try:
-                responses = yield from self._gather(need, method, params, label)
-                return responses
-            except ServiceUnavailableError:
-                if attempt >= self.max_retries:
-                    raise
-                delay = min(self.backoff_cap, self.backoff * (2 ** attempt))
-                delay *= 0.5 + 0.5 * self._rng.random()  # seeded jitter
-                self.metrics.retries += 1
-                attempt += 1
-                yield self.sim.timeout(delay)
+    def _retrying(self, need: int, method: str, params: dict, label: str,
+                  ctx=None) -> Generator:
+        """A gather wrapped in the shared backoff/jitter retry policy.
+
+        The context (when present) contributes its deadline (checked
+        before every attempt) and its operation-wide retry budget.
+        """
+
+        def note_retry(_attempt: int, _delay: float) -> None:
+            self.metrics.retries += 1
+
+        responses = yield from retrying(
+            self.sim,
+            lambda _attempt: self._gather(need, method, params, label, ctx),
+            self.retry_policy,
+            self._rng,
+            retry_on=(ServiceUnavailableError,),
+            ctx=ctx,
+            on_retry=note_retry,
+        )
+        return responses
 
     # -- key operations ------------------------------------------------------
     def _next_token(self, audit_id: bytes) -> bytes:
@@ -326,7 +358,8 @@ class ReplicatedKeyClient:
         return (self.device_id.encode() + b"|"
                 + self._token_counter.to_bytes(8, "big") + audit_id)
 
-    def fetch(self, audit_id: bytes, kind: str = "fetch") -> Generator:
+    def fetch(self, audit_id: bytes, kind: str = "fetch",
+              ctx=None) -> Generator:
         """Gather k shares and recombine K_R.
 
         The retry token is constant across retries of this one logical
@@ -340,12 +373,13 @@ class ReplicatedKeyClient:
             "window": self.dedup_window,
         }
         responses = yield from self._retrying(self.k, "key.fetch", params,
-                                              "fetch")
+                                              "fetch", ctx)
         shares = {i: r["key"] for i, r in responses.items()}
         self.metrics.share_fetches += 1
         return combine_secret(shares, self.k, self.m)
 
-    def fetch_many(self, audit_ids: list[bytes], kind: str = "prefetch") -> Generator:
+    def fetch_many(self, audit_ids: list[bytes], kind: str = "prefetch",
+                   ctx=None) -> Generator:
         """Batched share gather; unknown IDs come back as ``b""``.
 
         Each of the k chosen replicas serves the whole batch; IDs that
@@ -357,7 +391,7 @@ class ReplicatedKeyClient:
             return []
         params = {"audit_ids": list(audit_ids), "kind": kind}
         responses = yield from self._retrying(self.k, "key.fetch_batch",
-                                              params, "fetch-batch")
+                                              params, "fetch-batch", ctx)
         per_id: dict[bytes, dict[int, bytes]] = {a: {} for a in audit_ids}
         for index, payload in responses.items():
             for audit_id, share in zip(audit_ids, payload["keys"]):
@@ -373,30 +407,31 @@ class ReplicatedKeyClient:
                 keys.append(b"")
                 continue
             try:
-                key = yield from self.fetch(audit_id, kind)
+                key = yield from self.fetch(audit_id, kind, ctx)
             except (RpcError, ServiceUnavailableError):
                 key = b""
             keys.append(key)
         self.metrics.share_fetches += 1
         return keys
 
-    def put_key(self, audit_id: bytes, key: bytes) -> Generator:
+    def put_key(self, audit_id: bytes, key: bytes, ctx=None) -> Generator:
         """Split K_R and escrow one share per replica (each logs the
         create).  Needs at least k acks; the rest are repaired."""
         if len(key) != REMOTE_KEY_LEN:
             raise RpcError("malformed remote key")
         shares = split_secret(key, self.k, self.m, self._share_drbg)
-        yield from self._put_shares(audit_id, shares)
+        yield from self._put_shares(audit_id, shares, ctx)
         return None
 
-    def _put_shares(self, audit_id: bytes, shares: list[bytes]) -> Generator:
+    def _put_shares(self, audit_id: bytes, shares: list[bytes],
+                    ctx=None) -> Generator:
         state: dict = {"acks": 0, "pending": len(self.endpoints),
                        "fatal": None, "failed": []}
         done = self.sim.event()
 
         def worker(ep: _Endpoint, share: bytes) -> Generator:
             tag, payload = yield from self._guarded_call(
-                ep, "key.put", {"audit_id": audit_id, "key": share}
+                ep, "key.put", {"audit_id": audit_id, "key": share}, ctx
             )
             state["pending"] -= 1
             if tag == "ok":
@@ -424,13 +459,15 @@ class ReplicatedKeyClient:
         return None
 
     # -- best-effort fan-out (eviction notices etc.) -------------------------
-    def broadcast(self, method: str, require: int = 1, **params) -> Generator:
+    def broadcast(self, method: str, require: int = 1, ctx=None,
+                  **params) -> Generator:
         """Send one request to every replica; need ``require`` acks."""
         state: dict = {"acks": 0, "pending": len(self.endpoints)}
         done = self.sim.event()
 
         def worker(ep: _Endpoint) -> Generator:
-            tag, _payload = yield from self._guarded_call(ep, method, params)
+            tag, _payload = yield from self._guarded_call(ep, method, params,
+                                                          ctx)
             state["pending"] -= 1
             if tag == "ok":
                 self._mark_ok(ep)
@@ -450,9 +487,10 @@ class ReplicatedKeyClient:
             )
         return state["acks"]
 
-    def notify_evictions(self, count: int, reason: str) -> Generator:
+    def notify_evictions(self, count: int, reason: str,
+                         ctx=None) -> Generator:
         acks = yield from self.broadcast(
-            "key.evict_notify", require=1, count=count, reason=reason
+            "key.evict_notify", require=1, ctx=ctx, count=count, reason=reason
         )
         return acks
 
@@ -529,6 +567,7 @@ class ReplicatedServiceSession(ServiceSession):
         dedup_window: float = 0.0,
         mint_seed: bytes = b"cluster-mint",
         rng: Optional[SimRandom] = None,
+        tracer=None,
     ):
         super().__init__(
             sim, device_id, device_secret, replica_group.replicas[0],
@@ -537,6 +576,7 @@ class ReplicatedServiceSession(ServiceSession):
             max_inflight=max_inflight, coalesce_fetches=coalesce_fetches,
             write_behind=write_behind,
             write_behind_interval=write_behind_interval,
+            tracer=tracer,
         )
         self.replica_group = replica_group
         self.cluster = ReplicatedKeyClient(
@@ -546,7 +586,7 @@ class ReplicatedServiceSession(ServiceSession):
             hedge_delay=hedge_delay, max_retries=max_retries, backoff=backoff,
             backoff_cap=backoff_cap, failure_threshold=failure_threshold,
             cooldown=cooldown, dedup_window=dedup_window,
-            rng=rng, share_seed=mint_seed + b"|shares",
+            rng=rng, share_seed=mint_seed + b"|shares", tracer=tracer,
         )
         self._mint_drbg = HmacDrbg(mint_seed, b"cluster-remote-keys")
 
@@ -556,30 +596,33 @@ class ReplicatedServiceSession(ServiceSession):
         )
 
     # -- key service (rerouted through the cluster) --------------------------
-    def create(self, request) -> Generator:
+    def create(self, request, ctx=None) -> Generator:
         key = self._mint_drbg.generate(REMOTE_KEY_LEN)
-        yield from self.cluster.put_key(request.audit_id, key)
+        yield from self.cluster.put_key(request.audit_id, key, ctx)
         return key
 
-    def upload(self, request) -> Generator:
-        yield from self.cluster.put_key(request.audit_id, request.key)
+    def upload(self, request, ctx=None) -> Generator:
+        yield from self.cluster.put_key(request.audit_id, request.key, ctx)
         return None
 
-    def notify(self, request) -> Generator:
-        yield from self.cluster.notify_evictions(request.count, request.reason)
+    def notify(self, request, ctx=None) -> Generator:
+        yield from self.cluster.notify_evictions(request.count,
+                                                 request.reason, ctx)
         return None
 
-    def _fetch_direct(self, audit_id: bytes, kind: str) -> Generator:
-        key = yield from self.cluster.fetch(audit_id, kind)
+    def _fetch_direct(self, audit_id: bytes, kind: str,
+                      ctx=None) -> Generator:
+        key = yield from self.cluster.fetch(audit_id, kind, ctx)
         return key
 
-    def _fetch_batch_direct(self, audit_ids: list[bytes], kind: str) -> Generator:
-        keys = yield from self.cluster.fetch_many(audit_ids, kind)
+    def _fetch_batch_direct(self, audit_ids: list[bytes], kind: str,
+                            ctx=None) -> Generator:
+        keys = yield from self.cluster.fetch_many(audit_ids, kind, ctx)
         return keys
 
-    def _send_evict_batch(self, payload: list[dict]) -> Generator:
+    def _send_evict_batch(self, payload: list[dict], ctx=None) -> Generator:
         yield from self.cluster.broadcast(
-            "key.evict_notify_batch", require=1, notices=payload
+            "key.evict_notify_batch", require=1, ctx=ctx, notices=payload
         )
         return None
 

@@ -5,6 +5,7 @@ prefetcher, the remote audit services, the paired-device extension, and
 the client configuration.
 """
 
+from repro.core.context import OpContext, Span, TraceCollector
 from repro.core.client import (
     DeviceServices,
     DirRegistration,
@@ -48,6 +49,9 @@ from repro.core.services import (
 __all__ = [
     "KeypadFS",
     "KeypadConfig",
+    "OpContext",
+    "Span",
+    "TraceCollector",
     "coverage_for_prefixes",
     "DeviceServices",
     "ServiceSession",

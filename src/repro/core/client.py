@@ -23,13 +23,22 @@ Requests are expressed as typed dataclasses (:class:`KeyFetch`,
 facade and keeps the original loose method names (``fetch_key``,
 ``register_file``, ...) as thin shims for existing callers.
 
+Every request method accepts an optional ``ctx``
+(:class:`~repro.core.context.OpContext`) threaded down from the VFS
+operation that triggered it; the session forwards it to the RPC
+channels (deadlines, retry budget, per-call spans) and tags
+session-level events — coalesced joins, write-behind flushes — as
+child spans.  ``ctx=None`` is the exact legacy path.
+
 All methods are sim-process generators unless noted otherwise.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Union
+from typing import Generator, Optional, Union
+
+from repro.core.context import OpContext
 
 from repro.costmodel import DEFAULT_COSTS, CostModel
 from repro.crypto.ibe import IbePrivateKey
@@ -148,22 +157,24 @@ class ServiceSession:
         coalesce_fetches: bool = False,
         write_behind: bool = False,
         write_behind_interval: float = 1.0,
+        tracer=None,
     ):
         self.sim = sim
         self.device_id = device_id
         self.key_service = key_service
         self.metadata_service = metadata_service
+        self.tracer = tracer
         key_service.enroll_device(device_id, device_secret)
         metadata_service.enroll_device(device_id, device_secret)
         self.key_channel = RpcChannel(
             sim, key_link, key_service.server, device_id, device_secret,
             costs=costs, rekey_interval=rekey_interval,
-            pipelining=pipelining, max_inflight=max_inflight,
+            pipelining=pipelining, max_inflight=max_inflight, tracer=tracer,
         )
         self.metadata_channel = RpcChannel(
             sim, metadata_link, metadata_service.server, device_id,
             device_secret, costs=costs, rekey_interval=rekey_interval,
-            pipelining=pipelining, max_inflight=max_inflight,
+            pipelining=pipelining, max_inflight=max_inflight, tracer=tracer,
         )
         self.coalesce_fetches = coalesce_fetches
         self.write_behind = write_behind
@@ -200,15 +211,21 @@ class ServiceSession:
 
     # -- key service ---------------------------------------------------------
 
-    def fetch(self, request: KeyFetch) -> Generator:
+    def fetch(self, request: KeyFetch,
+              ctx: Optional[OpContext] = None) -> Generator:
         """Fetch one escrowed key; coalesces with in-flight fetches."""
         if not self.coalesce_fetches:
-            key = yield from self._fetch_direct(request.audit_id, request.kind)
+            key = yield from self._fetch_direct(request.audit_id,
+                                                request.kind, ctx)
             return key
         pending = self._inflight_fetches.get(request.audit_id)
         if pending is not None:
             self.metrics.coalesced_hits += 1
-            key = yield pending
+            if ctx is not None and ctx.traced:
+                with ctx.span("coalesced-wait"):
+                    key = yield pending
+            else:
+                key = yield pending
             if key == b"":
                 # The leader was a batch fetch and the service did not
                 # know this ID; a lone fetch would have faulted.
@@ -217,7 +234,8 @@ class ServiceSession:
         done = self.sim.event()
         self._inflight_fetches[request.audit_id] = done
         try:
-            key = yield from self._fetch_direct(request.audit_id, request.kind)
+            key = yield from self._fetch_direct(request.audit_id,
+                                                request.kind, ctx)
         except BaseException as exc:
             self._inflight_fetches.pop(request.audit_id, None)
             if not done.triggered:
@@ -227,7 +245,8 @@ class ServiceSession:
         done.succeed(key)
         return key
 
-    def fetch_many(self, requests: list[KeyFetch]) -> Generator:
+    def fetch_many(self, requests: list[KeyFetch],
+                   ctx: Optional[OpContext] = None) -> Generator:
         """Batch fetch; in-flight IDs are joined rather than re-requested.
 
         Returns keys in request order; unknown IDs come back as ``b""``
@@ -238,7 +257,7 @@ class ServiceSession:
         kind = requests[0].kind
         if not self.coalesce_fetches:
             keys = yield from self._fetch_batch_direct(
-                [r.audit_id for r in requests], kind
+                [r.audit_id for r in requests], kind, ctx
             )
             return keys
         results: dict[bytes, bytes] = {}
@@ -262,7 +281,7 @@ class ServiceSession:
         try:
             keys = []
             if to_fetch:
-                keys = yield from self._fetch_batch_direct(to_fetch, kind)
+                keys = yield from self._fetch_batch_direct(to_fetch, kind, ctx)
         except BaseException as exc:
             for audit_id, done in registered.items():
                 self._inflight_fetches.pop(audit_id, None)
@@ -279,81 +298,90 @@ class ServiceSession:
             results[audit_id] = key
         return [results[r.audit_id] for r in requests]
 
-    def create(self, request: KeyCreate) -> Generator:
+    def create(self, request: KeyCreate,
+               ctx: Optional[OpContext] = None) -> Generator:
         response = yield from self.key_channel.call(
-            "key.create", audit_id=request.audit_id
+            "key.create", op_ctx=ctx, audit_id=request.audit_id
         )
         return response["key"]
 
-    def upload(self, request: KeyUpload) -> Generator:
+    def upload(self, request: KeyUpload,
+               ctx: Optional[OpContext] = None) -> Generator:
         if self.phone is not None:
-            yield from self.phone.upload(request)
+            yield from self.phone.upload(request, ctx)
             return None
         yield from self.key_channel.call(
-            "key.put", audit_id=request.audit_id, key=request.key
+            "key.put", op_ctx=ctx, audit_id=request.audit_id, key=request.key
         )
         return None
 
-    def notify(self, request: EvictionNotice) -> Generator:
+    def notify(self, request: EvictionNotice,
+               ctx: Optional[OpContext] = None) -> Generator:
         """Blocking eviction notice (the hibernate path)."""
         yield from self.key_channel.call(
-            "key.evict_notify", count=request.count, reason=request.reason
+            "key.evict_notify", op_ctx=ctx, count=request.count,
+            reason=request.reason
         )
         return None
 
-    def _fetch_direct(self, audit_id: bytes, kind: str) -> Generator:
+    def _fetch_direct(self, audit_id: bytes, kind: str,
+                      ctx: Optional[OpContext] = None) -> Generator:
         if self.phone is not None:
-            key = yield from self.phone.fetch(KeyFetch(audit_id=audit_id, kind=kind))
+            key = yield from self.phone.fetch(
+                KeyFetch(audit_id=audit_id, kind=kind), ctx
+            )
             return key
         response = yield from self.key_channel.call(
-            "key.fetch", audit_id=audit_id, kind=kind
+            "key.fetch", op_ctx=ctx, audit_id=audit_id, kind=kind
         )
         return response["key"]
 
-    def _fetch_batch_direct(self, audit_ids: list[bytes], kind: str) -> Generator:
+    def _fetch_batch_direct(self, audit_ids: list[bytes], kind: str,
+                            ctx: Optional[OpContext] = None) -> Generator:
         if self.phone is not None:
             keys = yield from self.phone.fetch_many(
-                [KeyFetch(audit_id=a, kind=kind) for a in audit_ids]
+                [KeyFetch(audit_id=a, kind=kind) for a in audit_ids], ctx
             )
             return keys
         response = yield from self.key_channel.call(
-            "key.fetch_batch", audit_ids=audit_ids, kind=kind
+            "key.fetch_batch", op_ctx=ctx, audit_ids=audit_ids, kind=kind
         )
         return response["keys"]
 
     # -- metadata service ----------------------------------------------------
 
-    def register(self, request) -> Generator:
+    def register(self, request,
+                 ctx: Optional[OpContext] = None) -> Generator:
         """Dispatch a registration request to the metadata service."""
         if isinstance(request, FileRegistration):
             if self.phone is not None:
-                yield from self.phone.register(request)
+                yield from self.phone.register(request, ctx)
                 return None
             yield from self.metadata_channel.call(
-                "meta.register", audit_id=request.audit_id,
+                "meta.register", op_ctx=ctx, audit_id=request.audit_id,
                 dir_id=request.dir_id, name=request.name,
             )
             return None
         if isinstance(request, DirRegistration):
             if self.phone is not None:
-                yield from self.phone.register(request)
+                yield from self.phone.register(request, ctx)
                 return None
             yield from self.metadata_channel.call(
-                "meta.register_dir", dir_id=request.dir_id,
+                "meta.register_dir", op_ctx=ctx, dir_id=request.dir_id,
                 parent_id=request.parent_id, name=request.name,
             )
             return None
         if isinstance(request, IbeRegistration):
             if self.phone is not None:
-                result = yield from self.phone.register(request)
+                result = yield from self.phone.register(request, ctx)
                 return result
             response = yield from self.metadata_channel.call(
-                "meta.register_ibe", identity=request.identity
+                "meta.register_ibe", op_ctx=ctx, identity=request.identity
             )
             return self._private_key_from(response)
         if isinstance(request, XattrRegistration):
             yield from self.metadata_channel.call(
-                "meta.register_xattr", audit_id=request.audit_id,
+                "meta.register_xattr", op_ctx=ctx, audit_id=request.audit_id,
                 name=request.name, value=request.value,
             )
             return None
@@ -399,17 +427,28 @@ class ServiceSession:
         xattrs = [
             (ts, r) for ts, r in batch if isinstance(r, XattrRegistration)
         ]
+        # Maintenance traffic carries its own non-blocking context (the
+        # blocking-RPC counters exclude write-behind flushes, and the
+        # span accounting must agree).  No deadline: flushes retry via
+        # re-queueing, they never fail an op.
+        ctx = None
+        if self.tracer is not None:
+            ctx = OpContext(self.sim, "write-behind-flush",
+                            device_id=self.device_id, collector=self.tracer,
+                            blocking=False)
+        error: Optional[BaseException] = None
         if notices:
             payload = [
                 {"count": r.count, "reason": r.reason, "timestamp": ts}
                 for ts, r in notices
             ]
             try:
-                yield from self._send_evict_batch(payload)
+                yield from self._send_evict_batch(payload, ctx)
                 self.metrics.write_behind_flushes += 1
                 self.metrics.batched_messages += len(notices)
-            except (NetworkUnavailableError, ServiceUnavailableError):
+            except (NetworkUnavailableError, ServiceUnavailableError) as exc:
                 self._wb_queue = notices + self._wb_queue
+                error = exc
         if xattrs:
             payload = [
                 {
@@ -422,19 +461,23 @@ class ServiceSession:
             ]
             try:
                 yield from self.metadata_channel.call(
-                    "meta.register_xattr_batch", items=payload
+                    "meta.register_xattr_batch", op_ctx=ctx, items=payload
                 )
                 self.metrics.write_behind_flushes += 1
                 self.metrics.batched_messages += len(xattrs)
-            except (NetworkUnavailableError, ServiceUnavailableError):
+            except (NetworkUnavailableError, ServiceUnavailableError) as exc:
                 self._wb_queue = xattrs + self._wb_queue
+                error = exc
+        if ctx is not None:
+            ctx.finish(error)
         return None
 
-    def _send_evict_batch(self, payload: list[dict]) -> Generator:
+    def _send_evict_batch(self, payload: list[dict],
+                          ctx: Optional[OpContext] = None) -> Generator:
         """Transport hook for one eviction-notice batch; the replicated
         session overrides this to fan the batch out across the cluster."""
         yield from self.key_channel.call(
-            "key.evict_notify_batch", notices=payload
+            "key.evict_notify_batch", op_ctx=ctx, notices=payload
         )
         return None
 
@@ -456,26 +499,33 @@ class DeviceServices(ServiceSession):
     """
 
     # -- key service ---------------------------------------------------------
-    def fetch_key(self, audit_id: bytes, kind: str = "fetch") -> Generator:
-        key = yield from self.fetch(KeyFetch(audit_id=audit_id, kind=kind))
+    def fetch_key(self, audit_id: bytes, kind: str = "fetch",
+                  ctx: Optional[OpContext] = None) -> Generator:
+        key = yield from self.fetch(KeyFetch(audit_id=audit_id, kind=kind),
+                                    ctx)
         return key
 
-    def fetch_keys(self, audit_ids: list[bytes], kind: str = "prefetch") -> Generator:
+    def fetch_keys(self, audit_ids: list[bytes], kind: str = "prefetch",
+                   ctx: Optional[OpContext] = None) -> Generator:
         keys = yield from self.fetch_many(
-            [KeyFetch(audit_id=a, kind=kind) for a in audit_ids]
+            [KeyFetch(audit_id=a, kind=kind) for a in audit_ids], ctx
         )
         return keys
 
-    def create_key(self, audit_id: bytes) -> Generator:
-        key = yield from self.create(KeyCreate(audit_id=audit_id))
+    def create_key(self, audit_id: bytes,
+                   ctx: Optional[OpContext] = None) -> Generator:
+        key = yield from self.create(KeyCreate(audit_id=audit_id), ctx)
         return key
 
-    def put_key(self, audit_id: bytes, key: bytes) -> Generator:
-        yield from self.upload(KeyUpload(audit_id=audit_id, key=key))
+    def put_key(self, audit_id: bytes, key: bytes,
+                ctx: Optional[OpContext] = None) -> Generator:
+        yield from self.upload(KeyUpload(audit_id=audit_id, key=key), ctx)
         return None
 
-    def notify_evictions(self, count: int, reason: str) -> Generator:
-        yield from self.notify(EvictionNotice(count=count, reason=reason))
+    def notify_evictions(self, count: int, reason: str,
+                         ctx: Optional[OpContext] = None) -> Generator:
+        yield from self.notify(EvictionNotice(count=count, reason=reason),
+                               ctx)
         return None
 
     # -- metadata service -----------------------------------------------------

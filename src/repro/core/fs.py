@@ -59,9 +59,10 @@ from repro.core.header import (
     unwrap_data_key,
     wrap_data_key,
 )
+from repro.core.context import OpContext, maybe_span
 from repro.core.keycache import KeyCache
 from repro.core.policy import KeypadConfig
-from repro.core.prefetch import filter_inflight, make_policy
+from repro.core.prefetch import decision_attrs, filter_inflight, make_policy
 from repro.core.services.metadataservice import ROOT_DIR_ID, identity_string
 
 __all__ = ["KeypadFS"]
@@ -109,10 +110,14 @@ class KeypadFS(StackedCryptFs):
         self.services = services
         self.config = config
         self.is_protected = config.coverage()
+        # The session owns the TraceCollector (if any); the FS mints a
+        # per-VFS-op OpContext against it (see _op_context).
+        self.tracer = services.tracer
         self.key_cache = KeyCache(
             sim,
             refresh_fn=self._refresh_key,
             on_evict=self._note_eviction if services.write_behind else None,
+            tracer=self.tracer,
         )
         self.prefetch_policy = make_policy(config.prefetch)
         self.ibe_params = services.metadata_service.pkg.params
@@ -155,6 +160,42 @@ class KeypadFS(StackedCryptFs):
         return None
 
     # ------------------------------------------------------------------
+    # Per-operation contexts (deadline / retry budget / trace spans).
+    # ------------------------------------------------------------------
+    def _op_context(self, op: str, path: str) -> Optional[OpContext]:
+        """Mint the op's context, or None when observability is off."""
+        cfg = self.config
+        if (self.tracer is None and cfg.op_deadline is None
+                and not cfg.op_retry_budget):
+            return None
+        deadline = (
+            None if cfg.op_deadline is None else self.sim.now + cfg.op_deadline
+        )
+        return OpContext(
+            self.sim,
+            op,
+            device_id=self.services.device_id,
+            path=normalize(path),
+            deadline=deadline,
+            retry_budget=cfg.op_retry_budget or None,
+            collector=self.tracer,
+        )
+
+    def _background_context(self, op: str, path: str = "") -> Optional[OpContext]:
+        """Context for maintenance processes (registrations); traced,
+        but never deadline-bounded — the op that spawned them already
+        returned."""
+        if self.tracer is None:
+            return None
+        return OpContext(
+            self.sim,
+            op,
+            device_id=self.services.device_id,
+            path=normalize(path) if path else None,
+            collector=self.tracer,
+        )
+
+    # ------------------------------------------------------------------
     # Directory identifiers (metadata is dir_id/filename tuples).
     # ------------------------------------------------------------------
     def _dir_id(self, dir_path: str) -> str:
@@ -172,7 +213,7 @@ class KeypadFS(StackedCryptFs):
         token = self.drbg.generate(8).hex()
         return f"d-{token}-{self._next_dir_serial}"
 
-    def _ensure_dir_id(self, dir_path: str) -> Generator:
+    def _ensure_dir_id(self, dir_path: str, ctx: Optional[OpContext] = None) -> Generator:
         """Resolve (registering lazily) a protected directory's ID.
 
         Directories normally get IDs at mkdir, but a directory can
@@ -186,13 +227,13 @@ class KeypadFS(StackedCryptFs):
             return existing
         parent_id = ROOT_DIR_ID
         if dir_path != "/":
-            parent_id = yield from self._ensure_dir_id(parent_of(dir_path))
+            parent_id = yield from self._ensure_dir_id(parent_of(dir_path), ctx)
         dir_id = self._new_dir_id()
         self._dir_ids[dir_path] = dir_id
         self.stats["blocking_metadata_ops"] += 1
         name = "/" if dir_path == "/" else basename(dir_path)
         yield from self.services.register(
-            DirRegistration(dir_id=dir_id, parent_id=parent_id, name=name)
+            DirRegistration(dir_id=dir_id, parent_id=parent_id, name=name), ctx
         )
         return dir_id
 
@@ -216,14 +257,15 @@ class KeypadFS(StackedCryptFs):
     # ------------------------------------------------------------------
     # Key acquisition: the heart of the audit protocol.
     # ------------------------------------------------------------------
-    def _refresh_key(self, audit_id: bytes) -> Generator:
-        key = yield from self.services.fetch(KeyFetch(audit_id, kind="refresh"))
+    def _refresh_key(self, audit_id: bytes, ctx: Optional[OpContext] = None) -> Generator:
+        key = yield from self.services.fetch(KeyFetch(audit_id, kind="refresh"), ctx)
         return key
 
     def _note_eviction(self, audit_id: bytes, reason: str) -> None:
         self.services.enqueue(EvictionNotice(count=1, reason=reason))
 
-    def _content_key(self, path: str, parsed: Any, write: bool) -> Generator:
+    def _content_key(self, path: str, parsed: Any, write: bool,
+                     ctx: Optional[OpContext] = None) -> Generator:
         header: KeypadHeader = parsed
         if not header.protected:
             return self.volume.content_stream_key(header.file_iv), header.file_iv
@@ -231,15 +273,15 @@ class KeypadFS(StackedCryptFs):
         audit_id = header.audit_id
         nonce = audit_id[:16].ljust(16, b"\x00")
         self.launch_profiler.note_access(normalize(path))
-        entry = self.key_cache.get(audit_id)
+        entry = self.key_cache.get(audit_id, ctx=ctx)
         if entry is not None:
             yield self.sim.timeout(self.costs.keypad_hit_extra)
             return entry.data_key, nonce
 
         path = normalize(path)
         if header.locked:
-            header = yield from self._await_unlocked(path, header)
-            entry = self.key_cache.get(audit_id)
+            header = yield from self._await_unlocked(path, header, ctx)
+            entry = self.key_cache.get(audit_id, ctx=ctx)
             if entry is not None:
                 return entry.data_key, nonce
 
@@ -255,21 +297,24 @@ class KeypadFS(StackedCryptFs):
                 if h.protected and h.audit_id != audit_id
                 and parent_of(p) == directory and not h.locked
             ][:32]
-        remote_key = yield from self.services.fetch(KeyFetch(audit_id))
+        with maybe_span(ctx, "key-fetch", audit_id=audit_id.hex()[:8]):
+            remote_key = yield from self.services.fetch(KeyFetch(audit_id), ctx)
         yield self.sim.timeout(self.costs.keypad_header_crypt)
         data_key = unwrap_data_key(header.wrapped_kd, remote_key)
         self.key_cache.put(audit_id, remote_key, data_key, texp=self.config.texp)
-        yield from self._maybe_prefetch(path)
+        yield from self._maybe_prefetch(path, ctx)
         return data_key, nonce
 
-    def _await_unlocked(self, path: str, header: KeypadHeader) -> Generator:
+    def _await_unlocked(self, path: str, header: KeypadHeader,
+                        ctx: Optional[OpContext] = None) -> Generator:
         """Resolve an IBE-locked header, waiting or unlocking inline."""
         pending = self._pending_unlocks.get(header.audit_id)
         if pending is not None:
             self.stats["unlock_waits"] += 1
-            yield pending.event
+            with maybe_span(ctx, "unlock-wait"):
+                yield pending.event
         else:
-            yield from self._unlock_blocking(path, header)
+            yield from self._unlock_blocking(path, header, ctx)
         refreshed = self._header_cache.get(normalize(path))
         if refreshed is None or refreshed.locked:
             # Re-read from disk (unlock may have landed before a crash).
@@ -279,7 +324,8 @@ class KeypadFS(StackedCryptFs):
                 raise LockedFileError(f"{path} is still IBE-locked")
         return refreshed
 
-    def _unlock_blocking(self, path: str, header: KeypadHeader) -> Generator:
+    def _unlock_blocking(self, path: str, header: KeypadHeader,
+                         ctx: Optional[OpContext] = None) -> Generator:
         """Foreground unlock: register the identity, decrypt, rewrite.
 
         This is the path a post-crash client — or a thief driving the
@@ -287,34 +333,39 @@ class KeypadFS(StackedCryptFs):
         correct identity (path + audit ID) to the metadata service.
         """
         self.stats["blocking_unlocks"] += 1
-        private_key = yield from self.services.register(
-            IbeRegistration(identity=header.identity)
-        )
-        if private_key is None:
-            raise LockedFileError(
-                f"{path}: paired device deferred the registration; "
-                "the wrapped key is unavailable until service sync"
+        with maybe_span(ctx, "ibe-unlock"):
+            private_key = yield from self.services.register(
+                IbeRegistration(identity=header.identity), ctx
             )
-        yield self.sim.timeout(self.costs.keypad_ibe_decrypt)
-        wrapped = ibe_decrypt(self.ibe_params, private_key, header.ibe_blob)
-        new_header = header.unlocked_copy(wrapped)
-        yield from self._store_header(path, new_header)
+            if private_key is None:
+                raise LockedFileError(
+                    f"{path}: paired device deferred the registration; "
+                    "the wrapped key is unavailable until service sync"
+                )
+            yield self.sim.timeout(self.costs.keypad_ibe_decrypt)
+            wrapped = ibe_decrypt(self.ibe_params, private_key, header.ibe_blob)
+            new_header = header.unlocked_copy(wrapped)
+            yield from self._store_header(path, new_header)
         self.stats["ibe_unlocks"] += 1
         return new_header
 
     # ------------------------------------------------------------------
     # Prefetching.
     # ------------------------------------------------------------------
-    def _maybe_prefetch(self, path: str) -> Generator:
+    def _maybe_prefetch(self, path: str, ctx: Optional[OpContext] = None) -> Generator:
         directory = parent_of(path)
         decision = self.prefetch_policy.on_miss(directory)
         if decision.whole_directory:
-            yield from self._prefetch_directory(directory, exclude=path)
+            with maybe_span(ctx, "prefetch",
+                            **decision_attrs(decision, self.prefetch_policy)):
+                yield from self._prefetch_directory(directory, exclude=path, ctx=ctx)
             self.prefetch_policy.on_directory_prefetched(directory)
         elif decision.sample_count:
-            yield from self._prefetch_sample(
-                directory, decision.sample_count, exclude=path
-            )
+            with maybe_span(ctx, "prefetch",
+                            **decision_attrs(decision, self.prefetch_policy)):
+                yield from self._prefetch_sample(
+                    directory, decision.sample_count, exclude=path, ctx=ctx
+                )
         return None
 
     def _prefetch_candidates(self, directory: str, exclude: str) -> Generator:
@@ -343,14 +394,16 @@ class KeypadFS(StackedCryptFs):
             candidates.append((child, child_header))
         return candidates
 
-    def _prefetch_directory(self, directory: str, exclude: str) -> Generator:
+    def _prefetch_directory(self, directory: str, exclude: str,
+                            ctx: Optional[OpContext] = None) -> Generator:
         candidates = yield from self._prefetch_candidates(directory, exclude)
         if not candidates:
             return None
-        yield from self._prefetch_fetch(candidates)
+        yield from self._prefetch_fetch(candidates, ctx)
         return None
 
-    def _prefetch_sample(self, directory: str, count: int, exclude: str) -> Generator:
+    def _prefetch_sample(self, directory: str, count: int, exclude: str,
+                         ctx: Optional[OpContext] = None) -> Generator:
         candidates = yield from self._prefetch_candidates(directory, exclude)
         if not candidates:
             return None
@@ -360,10 +413,11 @@ class KeypadFS(StackedCryptFs):
 
                 self._prand = SimRandom(self.drbg.generate(16), "prefetch")
             candidates = self._prand.sample(candidates, count)
-        yield from self._prefetch_fetch(candidates)
+        yield from self._prefetch_fetch(candidates, ctx)
         return None
 
-    def _prefetch_fetch(self, candidates: list) -> Generator:
+    def _prefetch_fetch(self, candidates: list,
+                        ctx: Optional[OpContext] = None) -> Generator:
         # IDs already being fetched by a concurrent process will land in
         # the cache anyway; don't spend batch slots on them.
         candidates = filter_inflight(
@@ -372,7 +426,7 @@ class KeypadFS(StackedCryptFs):
         if not candidates:
             return None
         keys = yield from self.services.fetch_many(
-            [KeyFetch(h.audit_id, kind="prefetch") for _, h in candidates]
+            [KeyFetch(h.audit_id, kind="prefetch") for _, h in candidates], ctx
         )
         self.stats["prefetch_batches"] += 1
         for (child, child_header), remote_key in zip(candidates, keys):
@@ -394,22 +448,37 @@ class KeypadFS(StackedCryptFs):
     # ------------------------------------------------------------------
     def create(self, path: str) -> Generator:
         self._count("create")
+        ctx = self._op_context("create", path)
+        try:
+            yield from self._create_inner(normalize(path), ctx)
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.finish(exc)
+            raise
+        if ctx is not None:
+            ctx.finish()
+        return None
+
+    def _create_inner(self, path: str, ctx: Optional[OpContext]) -> Generator:
         yield from self._charge("create")
-        path = normalize(path)
         if not self.is_protected(path):
             yield from self._create_unprotected(path)
             return None
 
-        dir_id = yield from self._ensure_dir_id(parent_of(path))
+        dir_id = yield from self._ensure_dir_id(parent_of(path), ctx)
         name = basename(path)
         audit_id = self.drbg.generate(AUDIT_ID_LEN)
         data_key = self.drbg.generate(DATA_KEY_LEN)
         yield from self.lower.create(self._enc(path))
 
         if self.config.ibe_enabled:
-            yield from self._create_with_ibe(path, dir_id, name, audit_id, data_key)
+            yield from self._create_with_ibe(
+                path, dir_id, name, audit_id, data_key, ctx
+            )
         else:
-            yield from self._create_blocking(path, dir_id, name, audit_id, data_key)
+            yield from self._create_blocking(
+                path, dir_id, name, audit_id, data_key, ctx
+            )
         return None
 
     def _create_unprotected(self, path: str) -> Generator:
@@ -419,19 +488,24 @@ class KeypadFS(StackedCryptFs):
         return None
 
     def _create_blocking(
-        self, path: str, dir_id: str, name: str, audit_id: bytes, data_key: bytes
+        self, path: str, dir_id: str, name: str, audit_id: bytes,
+        data_key: bytes, ctx: Optional[OpContext] = None
     ) -> Generator:
         """Non-IBE create: key-create and metadata-register run
         concurrently, but both must ack before the create returns
         (§3.1: "Keypad must confirm that both requests complete before
         it allows access to the new file")."""
         self.stats["blocking_metadata_ops"] += 1
+        # Both sub-processes share the op's ctx; their RPC spans attach
+        # (non-stacked) so the interleaving cannot mis-nest.
         key_proc = self.sim.process(
-            self.services.create(KeyCreate(audit_id=audit_id)), name="create-key"
+            self.services.create(KeyCreate(audit_id=audit_id), ctx),
+            name="create-key",
         )
         meta_proc = self.sim.process(
             self.services.register(
-                FileRegistration(audit_id=audit_id, dir_id=dir_id, name=name)
+                FileRegistration(audit_id=audit_id, dir_id=dir_id, name=name),
+                ctx,
             ),
             name="create-meta",
         )
@@ -445,7 +519,8 @@ class KeypadFS(StackedCryptFs):
         return None
 
     def _create_with_ibe(
-        self, path: str, dir_id: str, name: str, audit_id: bytes, data_key: bytes
+        self, path: str, dir_id: str, name: str, audit_id: bytes,
+        data_key: bytes, ctx: Optional[OpContext] = None
     ) -> Generator:
         """IBE create: lock the header locally, register asynchronously.
 
@@ -470,6 +545,8 @@ class KeypadFS(StackedCryptFs):
         )
         self.stats["ibe_locks"] += 1
         self.stats["async_metadata_ops"] += 1
+        if ctx is not None and ctx.traced:
+            ctx.event("ibe-lock", audit_id=audit_id.hex()[:8])
         self._spawn_registration(
             audit_id, identity, path, wrapped, upload_key=remote_key
         )
@@ -480,12 +557,23 @@ class KeypadFS(StackedCryptFs):
     # ------------------------------------------------------------------
     def rename(self, old: str, new: str) -> Generator:
         self._count("rename")
+        ctx = self._op_context("rename", old)
+        try:
+            yield from self._rename_inner(normalize(old), normalize(new), ctx)
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.finish(exc)
+            raise
+        if ctx is not None:
+            ctx.finish()
+        return None
+
+    def _rename_inner(self, old: str, new: str,
+                      ctx: Optional[OpContext]) -> Generator:
         yield from self._charge("rename")
-        old = normalize(old)
-        new = normalize(new)
         attr = yield from self.lower.getattr(self._enc(old))
         if attr.is_dir:
-            yield from self._rename_directory(old, new)
+            yield from self._rename_directory(old, new, ctx)
             return None
 
         header = yield from self._header(old)
@@ -494,7 +582,7 @@ class KeypadFS(StackedCryptFs):
             self._move_header(old, new)
             return None
 
-        dir_id = yield from self._ensure_dir_id(parent_of(new))
+        dir_id = yield from self._ensure_dir_id(parent_of(new), ctx)
         name = basename(new)
         if header.locked and self.config.ibe_enabled:
             pending = self._pending_unlocks.get(header.audit_id)
@@ -505,9 +593,9 @@ class KeypadFS(StackedCryptFs):
                 yield from self._relock_pending(old, new, header, pending,
                                                 dir_id, name)
                 return None
-            header = yield from self._await_unlocked(old, header)
+            header = yield from self._await_unlocked(old, header, ctx)
         elif header.locked:
-            header = yield from self._await_unlocked(old, header)
+            header = yield from self._await_unlocked(old, header, ctx)
 
         if self.config.ibe_enabled:
             yield from self._rename_with_ibe(old, new, header, dir_id, name)
@@ -518,7 +606,8 @@ class KeypadFS(StackedCryptFs):
             yield from self.services.register(
                 FileRegistration(
                     audit_id=header.audit_id, dir_id=dir_id, name=name
-                )
+                ),
+                ctx,
             )
         return None
 
@@ -564,7 +653,8 @@ class KeypadFS(StackedCryptFs):
         )
         return None
 
-    def _rename_directory(self, old: str, new: str) -> Generator:
+    def _rename_directory(self, old: str, new: str,
+                          ctx: Optional[OpContext] = None) -> Generator:
         yield from self.lower.rename(self._enc(old), self._enc(new))
         self._move_subtree(old, new)
         if self.is_protected(new):
@@ -572,9 +662,9 @@ class KeypadFS(StackedCryptFs):
             if dir_id is None:
                 # The directory moved INTO the protected domain: give
                 # it (and any missing ancestors) IDs now.
-                yield from self._ensure_dir_id(new)
+                yield from self._ensure_dir_id(new, ctx)
                 return None
-            parent_id = yield from self._ensure_dir_id(parent_of(new))
+            parent_id = yield from self._ensure_dir_id(parent_of(new), ctx)
             # Directory metadata updates do not use IBE in the
             # prototype ("it does not apply it to directory metadata
             # operations"), so this blocks on the service.
@@ -582,7 +672,8 @@ class KeypadFS(StackedCryptFs):
             yield from self.services.register(
                 DirRegistration(
                     dir_id=dir_id, parent_id=parent_id, name=basename(new)
-                )
+                ),
+                ctx,
             )
         return None
 
@@ -631,6 +722,10 @@ class KeypadFS(StackedCryptFs):
     def _registration_process(self, pending: _PendingRegistration) -> Generator:
         audit_id = pending.audit_id
         attempts = 0
+        # Background registrations are their own (never deadline-bounded)
+        # operations in the trace; their RPCs count as blocking, same as
+        # the channel counters always have.
+        ctx = self._background_context("ibe-registration", pending.path_hint)
         # Extension ordering: if the file's directory registration is
         # still in flight (ibe_for_directories), wait for its ack so
         # the service can always resolve the file's full path.
@@ -642,12 +737,13 @@ class KeypadFS(StackedCryptFs):
             try:
                 if pending.upload_key is not None:
                     yield from self.services.upload(
-                        KeyUpload(audit_id=audit_id, key=pending.upload_key)
+                        KeyUpload(audit_id=audit_id, key=pending.upload_key),
+                        ctx,
                     )
                     pending.upload_key = None
                 identity = pending.identity
                 yield from self.services.register(
-                    IbeRegistration(identity=identity)
+                    IbeRegistration(identity=identity), ctx
                 )
                 if identity == pending.identity:
                     break
@@ -658,16 +754,19 @@ class KeypadFS(StackedCryptFs):
                 if isinstance(exc, RevokedError):
                     self._pending_unlocks.pop(audit_id, None)
                     pending.event.fail(exc)
+                    if ctx is not None:
+                        ctx.finish(exc)
                     return None
                 attempts += 1
                 if attempts >= self.config.registration_max_retries:
                     self._pending_unlocks.pop(audit_id, None)
-                    pending.event.fail(
-                        LockedFileError(
-                            f"metadata registration for {pending.path_hint} "
-                            f"failed after {attempts} attempts"
-                        )
+                    failure = LockedFileError(
+                        f"metadata registration for {pending.path_hint} "
+                        f"failed after {attempts} attempts"
                     )
+                    pending.event.fail(failure)
+                    if ctx is not None:
+                        ctx.finish(failure)
                     return None
                 yield self.sim.timeout(self.config.registration_retry_delay)
 
@@ -691,6 +790,8 @@ class KeypadFS(StackedCryptFs):
         self._pending_unlocks.pop(audit_id, None)
         if not pending.event.triggered:
             pending.event.succeed()
+        if ctx is not None:
+            ctx.finish()
         return None
 
     # ------------------------------------------------------------------
@@ -698,8 +799,19 @@ class KeypadFS(StackedCryptFs):
     # ------------------------------------------------------------------
     def mkdir(self, path: str) -> Generator:
         self._count("mkdir")
+        ctx = self._op_context("mkdir", path)
+        try:
+            yield from self._mkdir_inner(normalize(path), ctx)
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.finish(exc)
+            raise
+        if ctx is not None:
+            ctx.finish()
+        return None
+
+    def _mkdir_inner(self, path: str, ctx: Optional[OpContext]) -> Generator:
         yield from self._charge("mkdir")
-        path = normalize(path)
         yield from self.lower.mkdir(self._enc(path))
         if self.is_protected(path):
             parent_id = self._dir_id(parent_of(path))
@@ -723,7 +835,8 @@ class KeypadFS(StackedCryptFs):
                 yield from self.services.register(
                     DirRegistration(
                         dir_id=dir_id, parent_id=parent_id, name=basename(path)
-                    )
+                    ),
+                    ctx,
                 )
         return None
 
@@ -731,22 +844,28 @@ class KeypadFS(StackedCryptFs):
         self, dir_id: str, parent_id: str, name: str
     ) -> Generator:
         attempts = 0
+        ctx = self._background_context("dir-registration", name)
         while True:
             try:
                 yield from self.services.register(
                     DirRegistration(
                         dir_id=dir_id, parent_id=parent_id, name=name
-                    )
+                    ),
+                    ctx,
                 )
                 break
-            except (NetworkUnavailableError, KeypadError):
+            except (NetworkUnavailableError, KeypadError) as exc:
                 attempts += 1
                 if attempts >= self.config.registration_max_retries:
+                    if ctx is not None:
+                        ctx.finish(exc)
                     return None  # ack never fires; files stay locked
                 yield self.sim.timeout(self.config.registration_retry_delay)
         event = self._dir_acks.pop(dir_id, None)
         if event is not None and not event.triggered:
             event.succeed()
+        if ctx is not None:
+            ctx.finish()
         return None
 
     def rmdir(self, path: str) -> Generator:
@@ -765,30 +884,50 @@ class KeypadFS(StackedCryptFs):
     def truncate(self, path: str, size: int) -> Generator:
         """Truncation is a content operation: it must be audited too."""
         self._count("truncate")
-        yield from self._charge("write")
-        header = yield from self._header(path)
-        if header.protected:
-            yield from self._content_key(path, header, write=True)
-        yield from self.lower.truncate(self._enc(path), self.HEADER_LEN + size)
+        ctx = self._op_context("truncate", path)
+        try:
+            yield from self._charge("write")
+            header = yield from self._header(path)
+            if header.protected:
+                yield from self._content_key(path, header, write=True, ctx=ctx)
+            yield from self.lower.truncate(
+                self._enc(path), self.HEADER_LEN + size
+            )
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.finish(exc)
+            raise
+        if ctx is not None:
+            ctx.finish()
         return None
 
     def set_xattr(self, path: str, name: str, value: bytes) -> Generator:
         """Extension: xattr updates are registered as metadata (§4)."""
-        yield from self.lower.set_xattr(self._enc(path), name, value)
-        if self.config.track_xattrs:
-            header = yield from self._header(path)
-            if header.protected:
-                request = XattrRegistration(
-                    audit_id=header.audit_id, name=name, value=value
-                )
-                if self.services.write_behind:
-                    # Xattr registrations need not block the caller;
-                    # the session flushes them in batches.
-                    self.stats["async_metadata_ops"] += 1
-                    self.services.enqueue(request)
-                else:
-                    self.stats["blocking_metadata_ops"] += 1
-                    yield from self.services.register(request)
+        ctx = self._op_context("set_xattr", path)
+        try:
+            yield from self.lower.set_xattr(self._enc(path), name, value)
+            if self.config.track_xattrs:
+                header = yield from self._header(path)
+                if header.protected:
+                    request = XattrRegistration(
+                        audit_id=header.audit_id, name=name, value=value
+                    )
+                    if self.services.write_behind:
+                        # Xattr registrations need not block the caller;
+                        # the session flushes them in batches.
+                        self.stats["async_metadata_ops"] += 1
+                        self.services.enqueue(request)
+                        if ctx is not None and ctx.traced:
+                            ctx.event("write-behind-enqueue")
+                    else:
+                        self.stats["blocking_metadata_ops"] += 1
+                        yield from self.services.register(request, ctx)
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.finish(exc)
+            raise
+        if ctx is not None:
+            ctx.finish()
         return None
 
     # ------------------------------------------------------------------
@@ -818,9 +957,21 @@ class KeypadFS(StackedCryptFs):
             candidates.append((path, header))
         if not candidates:
             return 0
-        keys = yield from self.services.fetch_many(
-            [KeyFetch(h.audit_id, kind="profile-prefetch") for _, h in candidates]
-        )
+        ctx = self._background_context("launch-prefetch")
+        if ctx is not None:
+            ctx.root.attrs["app"] = app
+        try:
+            keys = yield from self.services.fetch_many(
+                [KeyFetch(h.audit_id, kind="profile-prefetch")
+                 for _, h in candidates],
+                ctx,
+            )
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.finish(exc)
+            raise
+        if ctx is not None:
+            ctx.finish()
         fetched = 0
         for (_path, header), remote_key in zip(candidates, keys):
             if not remote_key:
@@ -845,16 +996,21 @@ class KeypadFS(StackedCryptFs):
         audit servers."
         """
         count = self.key_cache.evict_all()
+        ctx = self._background_context("hibernate")
         try:
             if self.services.write_behind:
                 # Drain deferred traffic before sleeping: the notice
                 # must not sit in a queue on a powered-down device.
                 yield from self.services.flush()
             yield from self.services.notify(
-                EvictionNotice(count=count, reason="hibernate")
+                EvictionNotice(count=count, reason="hibernate"), ctx
             )
-        except (NetworkUnavailableError, KeypadError):
-            pass
+        except (NetworkUnavailableError, KeypadError) as exc:
+            if ctx is not None:
+                ctx.finish(exc)
+            return None
+        if ctx is not None:
+            ctx.finish()
         return None
 
     def audit_id_of(self, path: str) -> Generator:

@@ -79,14 +79,18 @@ class KeyCache:
     def __init__(
         self,
         sim: Simulation,
-        refresh_fn: Optional[Callable[[bytes], Generator]] = None,
+        refresh_fn: Optional[Callable[..., Generator]] = None,
         refresh_lead: float = 2.0,
         on_evict: Optional[Callable[[bytes, str], None]] = None,
+        tracer=None,
     ):
         self.sim = sim
-        # refresh_fn(audit_id) -> generator returning the new K_R, or
-        # raising; wired to the device's key-service client.
+        # refresh_fn(audit_id, ctx=None) -> generator returning the new
+        # K_R, or raising; wired to the device's key-service client.
         self.refresh_fn = refresh_fn
+        # Optional TraceCollector: in-use refreshes run outside any VFS
+        # op, so the cache mints their background contexts itself.
+        self.tracer = tracer
         # on_evict(audit_id, reason): synchronous hook fired when the
         # purge thread expires an entry (§6 asks for evictions to be
         # recorded on the audit servers; the session's write-behind
@@ -108,12 +112,18 @@ class KeyCache:
         self.expirations = 0
 
     # -- queries ----------------------------------------------------------
-    def get(self, audit_id: bytes, mark_used: bool = True) -> Optional[CacheEntry]:
+    def get(self, audit_id: bytes, mark_used: bool = True,
+            ctx=None) -> Optional[CacheEntry]:
+        """Look up a live entry, tagging the hit/miss on ``ctx``."""
         entry = self._entries.get(audit_id)
         if entry is None or entry.expires_at <= self.sim.now:
             self.misses += 1
+            if ctx is not None and ctx.traced:
+                ctx.event("keycache.miss", audit_id=audit_id.hex()[:8])
             return None
         self.hits += 1
+        if ctx is not None and ctx.traced:
+            ctx.event("keycache.hit", audit_id=audit_id.hex()[:8])
         if mark_used:
             entry.used_since_refresh = True
         return entry
@@ -256,14 +266,32 @@ class KeyCache:
         """Re-fetch an in-use key, re-logging the access on the service."""
         audit_id = entry.audit_id
         self.refreshes += 1
+        # In-use refreshes are their own (background) operations in the
+        # trace; their RPCs still count as blocking, matching how the
+        # channel counters have always treated them.
+        ctx = None
+        if self.tracer is not None:
+            from repro.core.context import OpContext
+
+            ctx = OpContext(self.sim, "key-refresh", collector=self.tracer)
+            ctx.root.attrs["audit_id"] = audit_id.hex()[:8]
         try:
-            new_remote = yield from self.refresh_fn(audit_id)
-        except (NetworkUnavailableError, KeypadError):
+            if ctx is not None:
+                new_remote = yield from self.refresh_fn(audit_id, ctx=ctx)
+            else:
+                # Plain positional call: refresh_fn need not be
+                # ctx-aware unless tracing is enabled.
+                new_remote = yield from self.refresh_fn(audit_id)
+        except (NetworkUnavailableError, KeypadError) as exc:
+            if ctx is not None:
+                ctx.finish(exc)
             self.expirations += 1
             self.evict(audit_id)
             if self.on_evict is not None:
                 self.on_evict(audit_id, "refresh-failed")
             return None
+        if ctx is not None:
+            ctx.finish()
         if self._entries.get(audit_id) is entry:
             entry.generation = self._next_generation()
             entry.remote_key = new_remote

@@ -307,13 +307,14 @@ class PhoneProxy:
         ibe_params=None,
         pipelining: bool = False,
         max_inflight: int = 8,
+        tracer=None,
     ):
         phone.server.enroll_device(device_id, device_secret)
         self.sim = sim
         self.phone = phone
         self.channel = RpcChannel(
             sim, bluetooth_link, phone.server, device_id, device_secret, costs,
-            pipelining=pipelining, max_inflight=max_inflight,
+            pipelining=pipelining, max_inflight=max_inflight, tracer=tracer,
         )
         self._ibe_params = ibe_params or phone.metadata_service.pkg.params
         # Directory hint support: the FS sets this before a fetch so
@@ -321,45 +322,51 @@ class PhoneProxy:
         self.related_hint: list[bytes] = []
 
     # -- typed surface -------------------------------------------------------
+    # ``ctx`` is the laptop-side operation context; the Bluetooth hop
+    # honours its deadline/budget and records the per-call span.  The
+    # phone's own uplink traffic stays unattributed (a different trust
+    # domain does not share the laptop's budget).
 
-    def fetch(self, request: KeyFetch) -> Generator:
+    def fetch(self, request: KeyFetch, ctx=None) -> Generator:
         hint, self.related_hint = self.related_hint, []
         response = yield from self.channel.call(
-            "phone.fetch_key", audit_id=request.audit_id, kind=request.kind,
-            related_ids=hint,
+            "phone.fetch_key", op_ctx=ctx, audit_id=request.audit_id,
+            kind=request.kind, related_ids=hint,
         )
         return response["key"]
 
-    def fetch_many(self, requests: list[KeyFetch]) -> Generator:
+    def fetch_many(self, requests: list[KeyFetch], ctx=None) -> Generator:
         kind = requests[0].kind if requests else "prefetch"
         response = yield from self.channel.call(
-            "phone.fetch_keys",
+            "phone.fetch_keys", op_ctx=ctx,
             audit_ids=[r.audit_id for r in requests], kind=kind,
         )
         return response["keys"]
 
-    def upload(self, request: KeyUpload) -> Generator:
+    def upload(self, request: KeyUpload, ctx=None) -> Generator:
         yield from self.channel.call(
-            "phone.put_key", audit_id=request.audit_id, key=request.key
+            "phone.put_key", op_ctx=ctx, audit_id=request.audit_id,
+            key=request.key
         )
         return None
 
-    def register(self, request) -> Generator:
+    def register(self, request, ctx=None) -> Generator:
         if isinstance(request, FileRegistration):
             yield from self.channel.call(
-                "phone.register_file", audit_id=request.audit_id,
+                "phone.register_file", op_ctx=ctx, audit_id=request.audit_id,
                 dir_id=request.dir_id, name=request.name,
             )
             return None
         if isinstance(request, DirRegistration):
             yield from self.channel.call(
-                "phone.register_dir", dir_id=request.dir_id,
+                "phone.register_dir", op_ctx=ctx, dir_id=request.dir_id,
                 parent_id=request.parent_id, name=request.name,
             )
             return None
         if isinstance(request, IbeRegistration):
             response = yield from self.channel.call(
-                "phone.register_file_ibe", identity=request.identity
+                "phone.register_file_ibe", op_ctx=ctx,
+                identity=request.identity
             )
             if response.get("deferred"):
                 return None

@@ -9,7 +9,7 @@ coverage domain (§3.6).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.util.paths import is_ancestor, normalize
 
@@ -98,6 +98,19 @@ class KeypadConfig:
     replica_backoff_cap: float = 4.0
     replica_failure_threshold: int = 2
     replica_cooldown: float = 8.0
+    # --- observability: the per-operation context seam (see
+    # docs/OBSERVABILITY.md).  All off by default so flags-off runs
+    # stay byte-identical with the pre-context tree.
+    # Collect per-op trace span trees (keypad-audit trace).
+    tracing: bool = False
+    # Wall-clock (sim-time) budget per VFS operation; None = unbounded.
+    # When set, RPC layers race against it and raise
+    # DeadlineExpiredError uniformly.
+    op_deadline: Optional[float] = None
+    # Extra retry attempts the whole op may spend across all layers
+    # (cluster backoff and per-RPC retries draw from one pool);
+    # 0 = no explicit budget (each layer's own policy governs).
+    op_retry_budget: int = 0
 
     def coverage(self) -> Callable[[str], bool]:
         return coverage_for_prefixes(self.protected_prefixes)
@@ -127,6 +140,19 @@ class KeypadConfig:
             coalesce_fetches=True,
             write_behind=True,
             key_shards=key_shards,
+        )
+
+    def with_tracing(
+        self,
+        op_deadline: Optional[float] = None,
+        op_retry_budget: int = 0,
+    ) -> "KeypadConfig":
+        """Enable trace collection (and optionally op deadlines/budgets)."""
+        return replace(
+            self,
+            tracing=True,
+            op_deadline=op_deadline,
+            op_retry_budget=op_retry_budget,
         )
 
     def with_replication(self, k: int = 2, m: int = 3, **knobs) -> "KeypadConfig":

@@ -24,6 +24,7 @@ __all__ = [
     "RandomPrefetch",
     "make_policy",
     "filter_inflight",
+    "decision_attrs",
 ]
 
 
@@ -123,6 +124,17 @@ def make_policy(spec: str) -> PrefetchPolicy:
     if kind == "random":
         return RandomPrefetch(sample_count=int(arg or 4))
     raise ValueError(f"unknown prefetch policy spec {spec!r}")
+
+
+def decision_attrs(decision: PrefetchDecision, policy: PrefetchPolicy) -> dict:
+    """Span attributes describing a prefetch decision (for tracing)."""
+    if decision.whole_directory:
+        mode = "directory"
+    elif decision.sample_count:
+        mode = f"random-{decision.sample_count}"
+    else:
+        mode = "none"
+    return {"policy": policy.name, "mode": mode}
 
 
 def filter_inflight(candidates: list, inflight_ids: set) -> list:

@@ -72,10 +72,24 @@ class StackedCryptFs(FsInterface):
         raise NotImplementedError
         yield  # pragma: no cover
 
-    def _content_key(self, path: str, parsed: Any, write: bool) -> Generator:
-        """Resolve the (key, nonce) pair for content crypto."""
+    def _content_key(self, path: str, parsed: Any, write: bool,
+                     ctx: Any = None) -> Generator:
+        """Resolve the (key, nonce) pair for content crypto.
+
+        ``ctx`` is the operation's :class:`~repro.core.context.OpContext`
+        (or None when observability is off); layers that talk to remote
+        services thread it down to the wire.
+        """
         raise NotImplementedError
         yield  # pragma: no cover
+
+    def _op_context(self, op: str, path: str) -> Any:
+        """Mint a per-operation context, or None when disabled.
+
+        The base stacking has no remote services and no observability
+        config, so it never mints one; KeypadFS overrides this.
+        """
+        return None
 
     def _charge(self, op: str) -> Generator:
         """Charge this layer's per-op CPU cost."""
@@ -171,28 +185,56 @@ class StackedCryptFs(FsInterface):
 
     def read(self, path: str, offset: int, size: int) -> Generator:
         self._count("read")
-        yield from self._charge("read")
-        parsed = yield from self._header(path)
-        key, nonce = yield from self._content_key(path, parsed, write=False)
-        if self.verify_content:
-            data = yield from self._read_verified(path, key, nonce, offset, size)
-            return data
-        stored = yield from self.lower.read(
-            self._enc(path), self.HEADER_LEN + offset, size
-        )
-        return stream_xor_at(key, nonce, stored, offset)
+        ctx = self._op_context("read", path)
+        try:
+            yield from self._charge("read")
+            parsed = yield from self._header(path)
+            key, nonce = yield from self._content_key(
+                path, parsed, write=False, ctx=ctx
+            )
+            if self.verify_content:
+                data = yield from self._read_verified(
+                    path, key, nonce, offset, size
+                )
+            else:
+                stored = yield from self.lower.read(
+                    self._enc(path), self.HEADER_LEN + offset, size
+                )
+                data = stream_xor_at(key, nonce, stored, offset)
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.finish(exc)
+            raise
+        if ctx is not None:
+            ctx.finish()
+        return data
 
     def write(self, path: str, offset: int, data: bytes) -> Generator:
         self._count("write")
-        yield from self._charge("write")
-        parsed = yield from self._header(path)
-        key, nonce = yield from self._content_key(path, parsed, write=True)
-        if self.verify_content:
-            written = yield from self._write_verified(path, key, nonce, offset, data)
-            return written
-        cipher = stream_xor_at(key, nonce, data, offset)
-        yield from self.lower.write(self._enc(path), self.HEADER_LEN + offset, cipher)
-        return len(data)
+        ctx = self._op_context("write", path)
+        try:
+            yield from self._charge("write")
+            parsed = yield from self._header(path)
+            key, nonce = yield from self._content_key(
+                path, parsed, write=True, ctx=ctx
+            )
+            if self.verify_content:
+                written = yield from self._write_verified(
+                    path, key, nonce, offset, data
+                )
+            else:
+                cipher = stream_xor_at(key, nonce, data, offset)
+                yield from self.lower.write(
+                    self._enc(path), self.HEADER_LEN + offset, cipher
+                )
+                written = len(data)
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.finish(exc)
+            raise
+        if ctx is not None:
+            ctx.finish()
+        return written
 
     # ------------------------------------------------------------------
     # Per-block content MACs (optional, EncFS --require-macs analog).
@@ -409,7 +451,8 @@ class EncfsFS(StackedCryptFs):
         return file_iv
         yield  # pragma: no cover
 
-    def _content_key(self, path: str, parsed: Any, write: bool) -> Generator:
+    def _content_key(self, path: str, parsed: Any, write: bool,
+                     ctx: Any = None) -> Generator:
         file_iv: bytes = parsed
         return self.volume.content_stream_key(file_iv), file_iv
         yield  # pragma: no cover

@@ -95,7 +95,16 @@ class ServiceUnavailableError(KeypadError):
 
 
 class DeadlineExpiredError(ServiceUnavailableError):
-    """A per-request deadline elapsed before the service answered."""
+    """A deadline elapsed before the service answered.
+
+    Raised uniformly by every layer that enforces time budgets: the
+    RPC channel racing a call against an operation's
+    :class:`~repro.core.context.OpContext` deadline, and the cluster
+    client's per-replica guard.  It subclasses
+    :class:`ServiceUnavailableError` so generic availability handling
+    still applies, but retry loops treat it as terminal — a spent
+    deadline must surface to the caller, never burn more attempts.
+    """
 
 
 class RevokedError(KeypadError):

@@ -77,6 +77,8 @@ class KeypadRig:
     # ``key_service`` is replica 0 and ``key_link`` is its link.
     replica_group: Optional[Any] = None
     replica_links: list = field(default_factory=list)
+    # TraceCollector when config.tracing is on (see docs/OBSERVABILITY.md).
+    tracer: Optional[Any] = None
     extras: dict = field(default_factory=dict)
 
     def run(self, gen: Generator, name: str = "workload") -> Any:
@@ -191,6 +193,12 @@ def build_keypad_rig(
     metadata_link = network.make_link(sim, label=f"{network.name}-meta")
     device_secret = b"device-secret|" + seed
 
+    tracer = None
+    if config.tracing:
+        from repro.core.context import TraceCollector
+
+        tracer = TraceCollector()
+
     replica_group = None
     replica_links: list[Link] = []
     if config.replicas > 1:
@@ -240,6 +248,7 @@ def build_keypad_rig(
             dedup_window=config.texp,
             mint_seed=b"cluster-mint|" + seed,
             rng=SimRandom(seed, "cluster-client"),
+            tracer=tracer,
         )
     else:
         key_service = KeyService(
@@ -261,6 +270,7 @@ def build_keypad_rig(
             coalesce_fetches=config.coalesce_fetches,
             write_behind=config.write_behind,
             write_behind_interval=config.write_behind_interval,
+            tracer=tracer,
         )
     fs = KeypadFS(
         sim, lower, volume, services, config=config, costs=costs,
@@ -283,6 +293,7 @@ def build_keypad_rig(
         device_secret=device_secret,
         replica_group=replica_group,
         replica_links=replica_links,
+        tracer=tracer,
     )
 
     if with_phone:
@@ -308,6 +319,7 @@ def build_keypad_rig(
         proxy = PhoneProxy(
             sim, phone, bt_link, DEVICE_ID, device_secret, costs=costs,
             pipelining=config.pipelining, max_inflight=config.max_inflight,
+            tracer=tracer,
         )
         rig.phone = phone
         rig.phone_proxy = proxy

@@ -110,9 +110,12 @@ class BenchPerf:
     total_wall_s: float = 0.0
     total_cpu_s: float = 0.0
     meta: dict = field(default_factory=dict)
+    # TraceCollector.summary() when the run traced (None otherwise; the
+    # key is then omitted entirely so untraced records stay unchanged).
+    spans_summary: Optional[dict] = None
 
     def as_dict(self) -> dict:
-        return {
+        record = {
             "bench": self.bench,
             "jobs": self.jobs,
             "total_wall_s": round(self.total_wall_s, 6),
@@ -121,6 +124,9 @@ class BenchPerf:
             "arms": [arm.as_dict() for arm in self.arms],
             "meta": self.meta,
         }
+        if self.spans_summary is not None:
+            record["spans_summary"] = self.spans_summary
+        return record
 
 
 def _run_one(packed: tuple) -> tuple:
@@ -189,6 +195,7 @@ def attach_perf(
     rpcs: Optional[Callable[[Any], int]] = None,
     jobs: Optional[int] = None,
     wall_s: Optional[float] = None,
+    spans_summary: Optional[dict] = None,
     **meta: Any,
 ) -> BenchPerf:
     """Build a :class:`BenchPerf` from arm results and hang it off
@@ -196,7 +203,9 @@ def attach_perf(
 
     ``rpcs`` extracts the arm's blocking-RPC count from its payload;
     ``wall_s`` overrides total wall time (with a pool the sum of arm
-    walls overstates the elapsed time).
+    walls overstates the elapsed time).  ``spans_summary`` (a
+    ``TraceCollector.summary()`` dict) is attached verbatim when the
+    run traced.
     """
     arms = [
         ArmPerf(
@@ -214,6 +223,7 @@ def attach_perf(
         total_wall_s=sum(a.wall_s for a in arms) if wall_s is None else wall_s,
         total_cpu_s=sum(a.cpu_s for a in arms),
         meta=dict(meta),
+        spans_summary=spans_summary,
     )
     table.perf = perf
     return perf

@@ -29,6 +29,8 @@ class ChannelMetrics:
     bytes_received: int = 0
     negotiated_version: Optional[int] = None
     handshakes: int = 0
+    retries: int = 0            # per-RPC retry attempts (context-budgeted)
+    deadline_expiries: int = 0  # op-context deadlines that fired mid-call
 
     def note_inflight(self, outstanding: int) -> None:
         if outstanding > self.inflight_hwm:
@@ -44,6 +46,8 @@ class ChannelMetrics:
             "bytes_received": self.bytes_received,
             "negotiated_version": self.negotiated_version,
             "handshakes": self.handshakes,
+            "retries": self.retries,
+            "deadline_expiries": self.deadline_expiries,
         }
 
 
@@ -108,6 +112,8 @@ def merge_channel_metrics(metrics: list[ChannelMetrics]) -> ChannelMetrics:
         total.bytes_sent += m.bytes_sent
         total.bytes_received += m.bytes_received
         total.handshakes += m.handshakes
+        total.retries += m.retries
+        total.deadline_expiries += m.deadline_expiries
         if m.negotiated_version is not None:
             total.negotiated_version = max(
                 total.negotiated_version or 0, m.negotiated_version

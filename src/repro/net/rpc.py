@@ -13,6 +13,16 @@ Latency per call: client marshal CPU + one-way transfer + server
 handler time + return transfer + client unmarshal CPU, all charged from
 the :class:`~repro.costmodel.CostModel`.
 
+Deadlines, retries, and tracing ride in on an optional per-operation
+context (:class:`repro.core.context.OpContext`): ``call(...,
+op_ctx=ctx)`` races the call against the context's remaining deadline
+budget (raising :class:`~repro.errors.DeadlineExpiredError` uniformly,
+never an ad-hoc ``RpcError``), optionally retries transient transport
+failures under the shared :class:`repro.util.retry.RetryPolicy` when
+the context carries a retry budget, and stamps a span per wire call
+(wire sizes + simulated latency) into the context's trace tree.  With
+``op_ctx=None`` the code path is exactly the legacy one.
+
 Two transport modes share one channel class:
 
 * **serial (protocol v1)** — the prototype's behaviour: one request
@@ -43,6 +53,7 @@ from repro.crypto.hmac import hmac_sha256
 from repro.crypto.kdf import hkdf_sha256
 from repro.errors import (
     AuthorizationError,
+    DeadlineExpiredError,
     LockedFileError,
     NetworkUnavailableError,
     RevokedError,
@@ -62,6 +73,7 @@ from repro.net.wire import (
     unpack_envelope,
 )
 from repro.sim import Event, Simulation
+from repro.util.retry import RetryPolicy, retrying
 
 __all__ = ["RpcServer", "RpcChannel", "HELLO_METHOD"]
 
@@ -71,8 +83,18 @@ _FAULT_TYPES: dict[str, type] = {
     "RevokedError": RevokedError,
     "AuthorizationError": AuthorizationError,
     "ServiceUnavailableError": ServiceUnavailableError,
+    "DeadlineExpiredError": DeadlineExpiredError,
     "LockedFileError": LockedFileError,
 }
+
+#: span name prefix for wire RPCs (mirrors
+#: ``repro.core.context.RPC_SPAN_PREFIX``; kept literal here so the
+#: transport layer never imports the core package).
+_RPC_SPAN = "rpc:"
+
+#: default backoff for the per-RPC retry path; only consulted when the
+#: operation context carries an explicit retry budget.
+_RPC_RETRY_POLICY = RetryPolicy(base=0.1, cap=2.0, max_attempts=8)
 
 #: version-negotiation method; absent on protocol-v1 servers.
 HELLO_METHOD = "rpc.hello"
@@ -153,6 +175,8 @@ class RpcChannel:
         rekey_interval: float = 100.0,
         pipelining: bool = False,
         max_inflight: int = 8,
+        tracer: Any = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.sim = sim
         self.link = link
@@ -164,6 +188,11 @@ class RpcChannel:
         self.pipelining = pipelining
         self.max_inflight = max(1, max_inflight)
         self.metrics = ChannelMetrics()
+        #: optional TraceCollector; calls made without an op context
+        #: still account their spans here as orphans.
+        self.tracer = tracer
+        self.retry_policy = retry_policy or _RPC_RETRY_POLICY
+        self._retry_rng: Any = None
         self._session_key = hkdf_sha256(
             device_secret, b"", b"rpc-session-0", 32
         )
@@ -205,21 +234,116 @@ class RpcChannel:
         return len(self._inflight)
 
     # -- the call itself ----------------------------------------------------------
-    def call(self, method: str, **params: Any) -> Generator:
-        """Sim-process generator performing one authenticated RPC."""
-        if not self.pipelining:
-            result = yield from self._call_serial(method, params)
+    def call(self, method: str, op_ctx: Any = None, **params: Any) -> Generator:
+        """Sim-process generator performing one authenticated RPC.
+
+        ``op_ctx`` is an optional :class:`repro.core.context.OpContext`.
+        When present, the call honours the context's deadline (raising
+        :class:`DeadlineExpiredError` if the budget expires mid-flight),
+        draws on its retry budget for transient transport failures, and
+        records a per-call trace span.  ``op_ctx=None`` is the exact
+        legacy path.
+        """
+        if op_ctx is None:
+            result = yield from self._call_once(method, params, None)
             return result
-        if self._negotiated is None:
-            yield from self._negotiate()
-        if self._negotiated >= PROTOCOL_V2:
-            result = yield from self._call_pipelined(method, params)
-        else:
-            result = yield from self._call_serial(method, params)
+        if op_ctx.retry_budget is None:
+            result = yield from self._call_deadlined(method, params, op_ctx)
+            return result
+        result = yield from retrying(
+            self.sim,
+            lambda _attempt: self._call_deadlined(method, params, op_ctx),
+            self.retry_policy,
+            self._rng(),
+            retry_on=(NetworkUnavailableError, ServiceUnavailableError),
+            ctx=op_ctx,
+            on_retry=lambda attempt, delay: self._note_retry(
+                op_ctx, method, attempt, delay
+            ),
+        )
         return result
 
+    def _call_once(self, method: str, params: dict, op_ctx: Any) -> Generator:
+        """Mode selection (the pre-context ``call`` body)."""
+        if not self.pipelining:
+            result = yield from self._call_serial(method, params, op_ctx)
+            return result
+        if self._negotiated is None:
+            yield from self._negotiate(op_ctx)
+        if self._negotiated >= PROTOCOL_V2:
+            result = yield from self._call_pipelined(method, params, op_ctx)
+        else:
+            result = yield from self._call_serial(method, params, op_ctx)
+        return result
+
+    def _call_deadlined(self, method: str, params: dict,
+                        op_ctx: Any) -> Generator:
+        """One attempt, raced against the context's remaining budget."""
+        op_ctx.check(f"rpc {method}")
+        if op_ctx.deadline is None:
+            result = yield from self._call_once(method, params, op_ctx)
+            return result
+        proc = self.sim.process(
+            self._call_once(method, params, op_ctx),
+            name=f"rpc-deadlined-{self.server.name}-{method}",
+        )
+        index, value = yield self.sim.any_of(
+            [proc, self.sim.timeout(op_ctx.remaining())]
+        )
+        if index == 0:
+            return value
+        proc.interrupt("deadline")
+        self.metrics.deadline_expiries += 1
+        if op_ctx.traced:
+            op_ctx.event("deadline-expired", method=method,
+                         server=self.server.name)
+        raise DeadlineExpiredError(
+            f"rpc {method} to {self.server.name} exceeded the operation "
+            f"deadline at t={self.sim.now:.3f}"
+        )
+
+    def _rng(self) -> Any:
+        """Seeded per-channel jitter source for the retry path (created
+        lazily so channels that never retry draw nothing)."""
+        if self._retry_rng is None:
+            import random
+
+            self._retry_rng = random.Random(
+                f"rpc-retry|{self.device_id}|{self.server.name}"
+            )
+        return self._retry_rng
+
+    def _note_retry(self, op_ctx: Any, method: str, attempt: int,
+                    delay: float) -> None:
+        self.metrics.retries += 1
+        if op_ctx.traced:
+            op_ctx.event("rpc-retry", method=method, attempt=attempt + 1,
+                         delay=round(delay, 6), server=self.server.name)
+
+    # -- trace spans --------------------------------------------------------------
+    def _span_begin(self, op_ctx: Any, method: str, transport: str):
+        """Open the per-call span: on the op context when one is traced,
+        else as a collector orphan, else not at all."""
+        if op_ctx is not None and op_ctx.traced:
+            return op_ctx.attach(_RPC_SPAN + method, transport=transport,
+                                 server=self.server.name), op_ctx
+        if self.tracer is not None:
+            return self.tracer.start_orphan(
+                _RPC_SPAN + method, self.sim.now, transport=transport,
+                server=self.server.name
+            ), None
+        return None, None
+
+    def _span_end(self, span: Any, owner: Any, status: str = "ok") -> None:
+        if span is None:
+            return
+        if owner is not None:
+            owner.close(span, status)
+        else:
+            self.tracer.finish_orphan(span, self.sim.now, status)
+
     # -- version negotiation ------------------------------------------------------
-    def _negotiate(self) -> Generator:
+    def _negotiate(self, op_ctx: Any = None) -> Generator:
         """One hello round-trip; concurrent callers share the attempt.
 
         A server without :data:`HELLO_METHOD` (a v1 peer) answers with
@@ -236,7 +360,7 @@ class RpcChannel:
         self._negotiating = self.sim.event()
         try:
             response = yield from self._call_serial(
-                HELLO_METHOD, {"version": PROTOCOL_LATEST}
+                HELLO_METHOD, {"version": PROTOCOL_LATEST}, op_ctx
             )
             version = int(response.get("version", PROTOCOL_V1))
             self._negotiated = max(PROTOCOL_V1, min(PROTOCOL_LATEST, version))
@@ -250,11 +374,21 @@ class RpcChannel:
         return None
 
     # -- serial (protocol v1) path ---------------------------------------------
-    def _call_serial(self, method: str, params: dict) -> Generator:
+    def _call_serial(self, method: str, params: dict,
+                     op_ctx: Any = None) -> Generator:
         self._maybe_ratchet()
         self.metrics.calls += 1
         self.metrics.serial_calls += 1
+        span, owner = self._span_begin(op_ctx, method, "serial")
+        try:
+            result = yield from self._serial_body(method, params, span)
+        except BaseException as exc:
+            self._span_end(span, owner, status=f"error:{type(exc).__name__}")
+            raise
+        self._span_end(span, owner)
+        return result
 
+    def _serial_body(self, method: str, params: dict, span: Any) -> Generator:
         # Authenticate: HMAC over device id, method, and payload bytes.
         request_plain = marshal_request(method, params)
         auth_tag = hmac_sha256(
@@ -281,6 +415,8 @@ class RpcChannel:
             raise
         self._connected = True
         self.metrics.bytes_sent += wire_size
+        if span is not None:
+            span.attrs["bytes_out"] = wire_size
 
         # Server side: verify auth, unmarshal, execute.
         server = self.server
@@ -319,6 +455,8 @@ class RpcChannel:
             self._connected = False
             raise
         self.metrics.bytes_received += response_size
+        if span is not None:
+            span.attrs["bytes_in"] = response_size
         yield self.sim.timeout(self.costs.rpc_marshal_time(response_size))
 
         payload = unmarshal(response_plain).payload
@@ -329,7 +467,8 @@ class RpcChannel:
         return payload
 
     # -- pipelined (protocol v2) path -------------------------------------------
-    def _call_pipelined(self, method: str, params: dict) -> Generator:
+    def _call_pipelined(self, method: str, params: dict,
+                        op_ctx: Any = None) -> Generator:
         """Send one framed request and park on its completion event.
 
         The server side runs in its own process, so other requests may
@@ -349,6 +488,19 @@ class RpcChannel:
         self.metrics.calls += 1
         self.metrics.pipelined_calls += 1
         self.metrics.note_inflight(len(self._inflight))
+        span, owner = self._span_begin(op_ctx, method, "pipelined")
+        try:
+            result = yield from self._pipelined_body(
+                method, params, request_id, done, span
+            )
+        except BaseException as exc:
+            self._span_end(span, owner, status=f"error:{type(exc).__name__}")
+            raise
+        self._span_end(span, owner)
+        return result
+
+    def _pipelined_body(self, method: str, params: dict, request_id: int,
+                        done: Event, span: Any) -> Generator:
         try:
             request_plain = marshal_request(method, params)
             auth_tag = hmac_sha256(
@@ -372,6 +524,8 @@ class RpcChannel:
                 raise
             self._connected = True
             self.metrics.bytes_sent += wire_size
+            if span is not None:
+                span.attrs["bytes_out"] = wire_size
 
             self.sim.process(
                 self._serve_pipelined(

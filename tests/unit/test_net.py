@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.costmodel import DEFAULT_COSTS
 from repro.errors import (
     AuthorizationError,
     NetworkUnavailableError,
@@ -306,3 +305,154 @@ class TestRpc:
         sim.run_process(proc())
         assert link.stats.messages_sent == 2  # request + response
         assert link.stats.bytes_sent > 1000  # payload + framing
+
+
+class TestRpcDeadlines:
+    """The channel races calls against an OpContext deadline."""
+
+    def _ctx(self, sim, **kwargs):
+        from repro.core.context import OpContext
+
+        return OpContext(sim, "read", **kwargs)
+
+    def test_generous_deadline_passes_through(self):
+        sim, _link, server, channel = _make_rig(rtt=0.3)
+        server.register("ping", lambda d, p: {"pong": True})
+        ctx = self._ctx(sim, deadline=10.0)
+
+        def proc():
+            result = yield from channel.call("ping", op_ctx=ctx)
+            return result
+
+        assert sim.run_process(proc()) == {"pong": True}
+        assert channel.metrics.deadline_expiries == 0
+
+    def test_deadline_shorter_than_rtt_expires(self):
+        from repro.errors import DeadlineExpiredError
+
+        sim, _link, server, channel = _make_rig(rtt=0.3)
+        server.register("ping", lambda d, p: {})
+        ctx = self._ctx(sim, deadline=0.1)
+
+        def proc():
+            yield from channel.call("ping", op_ctx=ctx)
+
+        with pytest.raises(DeadlineExpiredError):
+            sim.run_process(proc())
+        assert sim.now == pytest.approx(0.1)
+        assert channel.metrics.deadline_expiries == 1
+
+    def test_already_expired_fails_before_the_wire(self):
+        from repro.errors import DeadlineExpiredError
+
+        sim, link, server, channel = _make_rig(rtt=0.3)
+        server.register("ping", lambda d, p: {})
+        ctx = self._ctx(sim, deadline=1.0)
+
+        def proc():
+            yield sim.timeout(2.0)
+            yield from channel.call("ping", op_ctx=ctx)
+
+        with pytest.raises(DeadlineExpiredError):
+            sim.run_process(proc())
+        assert link.stats.messages_sent == 0
+
+    def test_pipelined_call_respects_deadline(self):
+        from repro.errors import DeadlineExpiredError
+
+        sim = Simulation()
+        link = Link(sim, rtt=0.3)
+        server = RpcServer(sim, "svc")
+        server.register("ping", lambda d, p: {})
+        secret = b"s" * 32
+        server.enroll_device("laptop-1", secret)
+        channel = RpcChannel(
+            sim, link, server, device_id="laptop-1", device_secret=secret,
+            pipelining=True,
+        )
+        ctx = self._ctx(sim, deadline=0.4)  # one RTT, not two
+
+        def proc():
+            # Handshake + call each need a full RTT; the budget covers
+            # only the first, so the pipelined call itself expires.
+            yield from channel.call("ping", op_ctx=ctx)
+
+        with pytest.raises(DeadlineExpiredError):
+            sim.run_process(proc())
+        assert channel.metrics.deadline_expiries == 1
+
+    def test_traced_expiry_records_event(self):
+        from repro.core.context import TraceCollector
+        from repro.errors import DeadlineExpiredError
+
+        sim, _link, server, channel = _make_rig(rtt=0.3)
+        server.register("ping", lambda d, p: {})
+        ctx = self._ctx(sim, deadline=0.1, collector=TraceCollector())
+
+        def proc():
+            yield from channel.call("ping", op_ctx=ctx)
+
+        with pytest.raises(DeadlineExpiredError):
+            sim.run_process(proc())
+        names = [s.name for s in ctx.root.walk()]
+        assert "deadline-expired" in names
+        assert "rpc:ping" in names
+
+
+class TestRpcRetryBudget:
+    """Transient failures retried under the op's shared budget."""
+
+    def test_budgeted_call_rides_out_outage(self):
+        from repro.core.context import OpContext
+
+        sim, _link, server, channel = _make_rig(rtt=0.01)
+        server.register("ping", lambda d, p: {"ok": True})
+        server.available = False
+
+        def restorer():
+            yield sim.timeout(0.5)
+            server.available = True
+
+        ctx = OpContext(sim, "read", retry_budget=8)
+
+        def proc():
+            sim.process(restorer())
+            result = yield from channel.call("ping", op_ctx=ctx)
+            return result
+
+        assert sim.run_process(proc()) == {"ok": True}
+        assert channel.metrics.retries > 0
+        assert ctx.retry_budget < 8
+
+    def test_no_budget_means_no_retries(self):
+        from repro.core.context import OpContext
+        from repro.errors import ServiceUnavailableError
+
+        sim, _link, server, channel = _make_rig(rtt=0.01)
+        server.register("ping", lambda d, p: {})
+        server.available = False
+        ctx = OpContext(sim, "read", deadline=10.0)  # budget unset
+
+        def proc():
+            yield from channel.call("ping", op_ctx=ctx)
+
+        with pytest.raises(ServiceUnavailableError):
+            sim.run_process(proc())
+        assert channel.metrics.retries == 0
+
+    def test_exhausted_budget_surfaces_failure(self):
+        from repro.core.context import OpContext
+        from repro.errors import ServiceUnavailableError
+
+        sim, _link, server, channel = _make_rig(rtt=0.01)
+        server.register("ping", lambda d, p: {})
+        server.available = False
+        ctx = OpContext(sim, "read", retry_budget=2)
+
+        def proc():
+            yield from channel.call("ping", op_ctx=ctx)
+
+        with pytest.raises(ServiceUnavailableError):
+            sim.run_process(proc())
+        assert ctx.retry_budget == 0
+        assert channel.metrics.retries == 2

@@ -122,6 +122,32 @@ class TestPerfRecord:
                          total_wall_s=0.3, total_cpu_s=1.0)
         assert perf.as_dict()["total_wall_s"] == 0.3
 
+    def test_spans_summary_omitted_when_untraced(self):
+        """Untraced records carry no spans_summary key at all, so the
+        BENCH_*.json schema is backward compatible byte-for-byte."""
+        perf = BenchPerf(bench="b", jobs=1)
+        assert "spans_summary" not in perf.as_dict()
+
+    def test_spans_summary_attached_when_traced(self, tmp_path):
+        from repro.core.context import OpContext, TraceCollector
+
+        class Clock:
+            now = 0.0
+
+        collector = TraceCollector()
+        ctx = OpContext(Clock(), "read", collector=collector)
+        ctx.event("keycache.hit")
+        ctx.finish()
+
+        table = ResultTable("t", ["a"])
+        results = [ArmResult(label="one", value={}, wall_s=0.1, cpu_s=0.1)]
+        perf = attach_perf(table, "traced", results, jobs=1,
+                           spans_summary=collector.summary())
+        path = write_bench_json(perf, tmp_path)
+        data = json.loads(open(path, encoding="utf-8").read())
+        assert data["spans_summary"]["ops"] == 1
+        assert data["spans_summary"]["by_span"]["keycache.hit"]["count"] == 1
+
 
 class TestParallelFigureIdentity:
     """A parallel Fig 7 run must render byte-identical to serial."""
