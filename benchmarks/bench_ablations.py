@@ -15,11 +15,11 @@ makes:
   as an extension.
 """
 
-from repro.core import KeypadConfig
+from repro.api import KeypadConfig
 from repro.harness import build_keypad_rig
 from repro.harness.compilebench import ablation_ibe_cost
 from repro.harness.results import ResultTable
-from repro.net import THREE_G
+from repro.api import THREE_G
 from repro.workloads import prepare_office_environment, task_by_name
 
 

@@ -28,13 +28,13 @@ import argparse
 import sys
 
 from repro.cluster import FaultEvent, FaultInjector, FaultPlan
-from repro.core import KeypadConfig
+from repro.api import KeypadConfig
 from repro.errors import KeypadError
 from repro.forensics.audit import AuditTool
 from repro.harness import build_keypad_rig
 from repro.harness.experiment import DEVICE_ID
 from repro.harness.results import ResultTable
-from repro.net import THREE_G
+from repro.api import THREE_G
 
 TEXP = 1.0            # every read needs a remote fetch
 READ_INTERVAL = 2.0   # > TEXP, and files recur > merge window apart

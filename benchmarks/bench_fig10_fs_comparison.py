@@ -1,9 +1,9 @@
 """Figure 10 / §5.1.3: Keypad vs ext3, EncFS, and NFS."""
 
-from repro.core import KeypadConfig
+from repro.api import KeypadConfig
 from repro.harness import build_nfs_rig
 from repro.harness.compilebench import fig10_fs_comparison
-from repro.net import THREE_G
+from repro.api import THREE_G
 from repro.workloads import prepare_office_environment, task_by_name
 
 

@@ -1,7 +1,7 @@
 """Figure 7: Apache compile time vs key expiration time per network."""
 
 from repro.harness.compilebench import fig7_key_expiration
-from repro.net import BROADBAND, DSL, LAN, THREE_G
+from repro.api import BROADBAND, DSL, LAN, THREE_G
 
 
 def test_fig7_key_expiration_sweep(benchmark, record_table, full_sweep):

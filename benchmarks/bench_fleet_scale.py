@@ -1,0 +1,174 @@
+"""Fleet scalability of the key service behind the scheduler frontend.
+
+Not a paper figure — the paper evaluates one device against one key
+service; this measures what happens when a *fleet* shares it (ISSUE:
+multi-tenant frontend).  Each arm drives N closed-loop devices
+(office / compile / file-scanner mix) against the service for a fixed
+simulated window and reports throughput, fetch latency percentiles,
+shed rate, and the worst within-profile max/min per-device goodput
+ratio for the non-scanner profiles (the fairness headline: peers with
+identical demand should see near-identical service).
+
+The cost model scales ``service_log_append`` / ``service_key_lookup``
+up to disk-backed-durable-log territory (~12 ms per commit) so the
+1,000-device arms actually contend: under FIFO the scanners' deep
+batches starve office/compile devices past their deadlines (admission
+control sheds the victims); DRR isolates them.  The 10,000-device arms
+scale the worker pool with the fleet (128 workers) and exercise raw
+scheduler throughput.
+
+Run directly for CI smoke (one 1,000-device DRR arm):
+
+    PYTHONPATH=src python benchmarks/bench_fleet_scale.py --smoke
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.api import DEFAULT_COSTS, run_fleet
+from repro.harness.results import ResultTable
+from repro.harness.runner import attach_perf, run_tasks
+
+DURATION = 30.0
+SCANNER_FRACTION = 0.10
+QUEUE_LIMIT = 4
+COALESCE = 8
+
+#: Durable-log costs: the in-memory defaults never saturate even at
+#: 10k devices, so contention (the thing under test) never appears.
+FLEET_COSTS = replace(
+    DEFAULT_COSTS, service_log_append=0.012, service_key_lookup=0.006
+)
+
+#: (devices, policy, workers, replicas, threshold); policy None is the
+#: legacy unbounded server.
+ARMS = [
+    (100, "fifo", 8, 1, 1),
+    (100, "drr", 8, 1, 1),
+    (1000, "fifo", 8, 1, 1),
+    (1000, "drr", 8, 1, 1),
+    (10000, "fifo", 128, 1, 1),
+    (10000, "drr", 128, 1, 1),
+    (100, "drr", 8, 3, 2),
+]
+
+
+def _label(devices, policy, workers, replicas, threshold):
+    tag = f"{devices}dev-{policy}-w{workers}"
+    if replicas > 1:
+        tag += f"-{threshold}of{replicas}"
+    return tag
+
+
+def run_arm(devices, policy, workers, replicas=1, threshold=1,
+            duration=DURATION):
+    """One fleet arm -> its summary dict (module-level: picklable)."""
+    frontend = {
+        "workers": workers,
+        "queue_limit": QUEUE_LIMIT,
+        "policy": policy,
+        "coalesce": COALESCE,
+    }
+    result = run_fleet(
+        devices=devices,
+        duration=duration,
+        seed=b"fleet-scale",
+        scanner_fraction=SCANNER_FRACTION,
+        costs=FLEET_COSTS,
+        frontend=frontend,
+        replicas=replicas,
+        threshold=threshold,
+    )
+    return result.summary()
+
+
+def fleet_scale_table(jobs=None, arms=ARMS, duration=DURATION):
+    tasks = [(run_arm, arm + (duration,)) for arm in arms]
+    labels = [_label(*arm) for arm in arms]
+    results = run_tasks(tasks, labels, jobs=jobs)
+
+    table = ResultTable(
+        title="Fleet scalability (multi-tenant key-service frontend)",
+        columns=["devices", "policy", "workers", "requested", "shed rate",
+                 "p50 ms", "p99 ms", "keys/s", "fairness"],
+    )
+    for (devices, policy, workers, replicas, threshold), arm in zip(
+        arms, results
+    ):
+        s = arm.value
+        fairness = s["fairness_nonscanner"]
+        table.add(
+            devices,
+            policy if replicas == 1 else f"{policy} {threshold}of{replicas}",
+            workers,
+            s["requested"],
+            f"{s['shed_rate']:.3f}",
+            f"{s['fetch_p50_ms']:.2f}",
+            f"{s['fetch_p99_ms']:.2f}",
+            f"{s['throughput_keys_per_s']:.1f}",
+            f"{fairness:.2f}" if fairness is not None else "starved",
+        )
+    table.note(
+        "fairness = worst within-profile max/min per-device goodput over "
+        "the non-scanner profiles; costs model a disk-backed durable log "
+        f"(append {FLEET_COSTS.service_log_append * 1e3:.0f} ms)."
+    )
+    attach_perf(
+        table, "fleet_scale", results, jobs=jobs,
+        summaries={arm.label: arm.value for arm in results},
+    )
+    return table
+
+
+def test_fleet_scale(benchmark, record_table):
+    table = benchmark.pedantic(fleet_scale_table, rounds=1, iterations=1)
+    record_table(table, "fleet_scale")
+
+    rows = {(r[0], r[1]): r for r in table.rows}
+    summaries = table.perf.meta["summaries"]
+
+    # Overload contrast at 1,000 devices: FIFO's global backlog pushes
+    # light tenants past their deadlines (sheds), DRR isolates them.
+    assert summaries["1000dev-fifo-w8"]["shed_rate"] > 0.0
+    assert (summaries["1000dev-drr-w8"]["shed_rate"]
+            <= summaries["1000dev-fifo-w8"]["shed_rate"])
+
+    # Acceptance: fair queueing keeps non-scanner peers within 3x.
+    for label in ("100dev-drr-w8", "1000dev-drr-w8", "10000dev-drr-w128",
+                  "100dev-drr-w8-2of3"):
+        fairness = summaries[label]["fairness_nonscanner"]
+        assert fairness is not None and fairness <= 3.0, (label, fairness)
+
+    # The 10k arms must actually serve the fleet, not collapse.
+    assert summaries["10000dev-drr-w128"]["throughput_keys_per_s"] > 1000.0
+
+
+def _main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="one 1,000-device DRR arm at 1/3 duration "
+                             "(the CI fleet-smoke job)")
+    parser.add_argument("--jobs", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        arms = [(1000, "drr", 8, 1, 1)]
+        table = fleet_scale_table(jobs=1, arms=arms, duration=DURATION / 3)
+        summary = table.perf.meta["summaries"]["1000dev-drr-w8"]
+        fairness = summary["fairness_nonscanner"]
+        print(table.render())
+        assert summary["completed"] > 0
+        assert fairness is not None and fairness <= 3.0, fairness
+        print(f"smoke ok: fairness={fairness:.2f} "
+              f"shed_rate={summary['shed_rate']:.3f}")
+        return 0
+    table = fleet_scale_table(jobs=args.jobs)
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -7,8 +7,7 @@ Unlike the simulation benchmarks, these measure real wall-clock per
 operation, so pytest-benchmark's statistics are meaningful here.
 """
 
-from repro.core.services.keyservice import KeyService
-from repro.core.services.metadataservice import MetadataService
+from repro.api import KeyService, MetadataService
 from repro.crypto.drbg import HmacDrbg
 from repro.forensics import AuditTool
 from repro.forensics.export import export_logs, load_bundle

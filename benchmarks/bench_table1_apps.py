@@ -1,7 +1,7 @@
 """Table 1: application-task latency matrix (EncFS vs Keypad)."""
 
 from repro.harness.appbench import table1_applications
-from repro.net import ALL_NETWORKS, BROADBAND, LAN, THREE_G
+from repro.api import ALL_NETWORKS, BROADBAND, LAN, THREE_G
 
 
 def test_table1_applications(benchmark, record_table, full_sweep):

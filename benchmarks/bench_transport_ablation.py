@@ -17,20 +17,20 @@ flushes.  Defaults stay byte-identical to the seed (bench_fig6 and
 bench_fig7 pin that), so the comparison isolates the transport.
 """
 
-from repro.core import (
+from repro.api import (
     KeypadConfig,
     KeyService,
     MetadataService,
     ServiceSession,
 )
-from repro.core.client import KeyCreate, KeyFetch
+from repro.api import KeyCreate, KeyFetch
 from repro.harness.compilebench import run_parallel_compile
 from repro.harness.results import (
     TRANSPORT_METRIC_COLUMNS,
     ResultTable,
     transport_metrics_row,
 )
-from repro.net import THREE_G, Link
+from repro.api import THREE_G, Link
 from repro.sim import Simulation
 
 READERS = 16

@@ -18,10 +18,10 @@ coverage*: only /corporate is Keypad-protected; Alice's personal music
 folder is locally encrypted but unaudited.
 """
 
-from repro.core import KeypadConfig
+from repro.api import KeypadConfig
 from repro.forensics import AuditTool
 from repro.harness import build_keypad_rig
-from repro.net import WLAN
+from repro.api import WLAN
 
 TWO_HOURS = 2 * 3600.0
 

@@ -20,10 +20,10 @@ machines.
 """
 
 from repro.attack import OfflineAttacker
-from repro.core import KeypadConfig
+from repro.api import KeypadConfig
 from repro.forensics import AuditTool
 from repro.harness import build_keypad_rig
-from repro.net import BROADBAND
+from repro.api import BROADBAND
 
 WEEK = 7 * 86400.0
 

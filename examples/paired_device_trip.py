@@ -7,10 +7,10 @@ locally, logs every access durably, and bulk-uploads the logs when the
 plane lands.  Auditability survives the flight.
 """
 
-from repro.core import KeypadConfig
+from repro.api import KeypadConfig
 from repro.forensics import AuditTool
 from repro.harness import build_keypad_rig
-from repro.net import THREE_G
+from repro.api import THREE_G
 
 
 def main() -> None:

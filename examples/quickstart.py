@@ -10,10 +10,10 @@ exactly which file was exposed.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import KeypadConfig
+from repro.api import KeypadConfig
 from repro.forensics import AuditTool
 from repro.harness import build_keypad_rig
-from repro.net import THREE_G
+from repro.api import THREE_G
 
 
 def main() -> None:

@@ -14,7 +14,7 @@ For the full-scale version of every figure:
 """
 
 from repro.harness.compilebench import fig7_key_expiration
-from repro.net import LAN, THREE_G
+from repro.api import LAN, THREE_G
 
 
 def main() -> None:

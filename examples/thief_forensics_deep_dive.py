@@ -16,10 +16,10 @@ Ends with the fidelity analysis: zero false negatives across all three.
 """
 
 from repro.attack import OfflineAttacker
-from repro.core import KeypadConfig
+from repro.api import KeypadConfig
 from repro.forensics import AuditTool, analyze_fidelity
 from repro.harness import build_keypad_rig
-from repro.net import BROADBAND
+from repro.api import BROADBAND
 
 
 def main() -> None:

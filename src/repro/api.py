@@ -1,0 +1,157 @@
+"""The stable public surface of the Keypad reproduction.
+
+Import from here — everything else under ``repro.*`` is layout, not
+contract.  This facade exists so the package can keep refactoring its
+internals (``repro.core``, ``repro.net``, ``repro.cluster``, ...)
+without breaking the CLI, the benchmarks, or downstream scripts: the
+names below are the ones ``tests/unit/test_api_surface.py`` snapshots,
+and a change to this module is a deliberate API change, reviewed as
+one.
+
+The groups:
+
+* **Mounting a rig** — :func:`mount` (alias of :func:`build_keypad_rig`)
+  wires the full simulated world: storage stack, KeypadFS, key/metadata
+  services behind simulated links, optionally a replica cluster, a
+  paired phone, tracing, and the fleet frontend.
+* **Configuration** — :class:`KeypadConfig` with
+  :meth:`KeypadConfig.builder` for chainable feature bundles.
+* **Forensics** — :class:`AuditTool` over a key service's log,
+  :class:`ClusterAuditLog` over a replica group's.
+* **Fleet scale** — :func:`run_fleet` drives thousands of simulated
+  devices against one service; :class:`ServiceFrontend` is the
+  server-side scheduler it exercises.
+* **Errors** — the single taxonomy from :mod:`repro.errors`.
+
+Old deep-import paths (``from repro.core import KeypadConfig``, ...)
+keep working but emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import (
+    KeypadConfig,
+    KeypadConfigBuilder,
+    coverage_for_prefixes,
+)
+from repro.core.client import (
+    DeviceServices,
+    KeyCreate,
+    KeyFetch,
+    ServiceSession,
+)
+from repro.core.context import OpContext, Span, TraceCollector
+from repro.core.fs import KeypadFS
+from repro.core.services import KeyService, MetadataService
+from repro.cluster.client import (
+    ReplicatedDeviceServices,
+    ReplicatedKeyClient,
+)
+from repro.cluster.merge import ClusterAuditLog
+from repro.cluster.replica import ReplicaGroup
+from repro.costmodel import DEFAULT_COSTS, CostModel
+from repro.errors import (
+    AuthorizationError,
+    DeadlineExpiredError,
+    FileSystemError,
+    KeypadError,
+    LockedFileError,
+    NetworkUnavailableError,
+    OverloadSheddedError,
+    ReproError,
+    RevokedError,
+    RpcError,
+    ServiceUnavailableError,
+)
+from repro.forensics.audit import AuditReport, AuditTool
+from repro.harness.experiment import (
+    BaselineRig,
+    KeypadRig,
+    build_encfs_rig,
+    build_ext3_rig,
+    build_keypad_rig,
+    build_nfs_rig,
+)
+from repro.net.link import Link
+from repro.net.netem import (
+    ALL_NETWORKS,
+    BLUETOOTH,
+    BROADBAND,
+    DSL,
+    LAN,
+    PAPER_SWEEP_RTTS,
+    THREE_G,
+    WLAN,
+    NetEnv,
+)
+from repro.server import ServiceFrontend
+from repro.sim import Simulation
+from repro.workloads.fleet import DeviceProfile, FleetResult, run_fleet
+
+#: The one-call entry point: build a fully wired Keypad world.
+mount = build_keypad_rig
+
+__all__ = [
+    # rig construction
+    "mount",
+    "build_keypad_rig",
+    "build_encfs_rig",
+    "build_ext3_rig",
+    "build_nfs_rig",
+    "KeypadRig",
+    "BaselineRig",
+    "Simulation",
+    # configuration
+    "KeypadConfig",
+    "KeypadConfigBuilder",
+    "coverage_for_prefixes",
+    "CostModel",
+    "DEFAULT_COSTS",
+    # core sessions / services
+    "KeypadFS",
+    "KeyService",
+    "MetadataService",
+    "DeviceServices",
+    "ServiceSession",
+    "KeyCreate",
+    "KeyFetch",
+    "OpContext",
+    "Span",
+    "TraceCollector",
+    # cluster
+    "ReplicaGroup",
+    "ReplicatedKeyClient",
+    "ReplicatedDeviceServices",
+    "ClusterAuditLog",
+    # forensics
+    "AuditTool",
+    "AuditReport",
+    # fleet scale
+    "run_fleet",
+    "FleetResult",
+    "DeviceProfile",
+    "ServiceFrontend",
+    # networks
+    "NetEnv",
+    "Link",
+    "LAN",
+    "WLAN",
+    "BROADBAND",
+    "DSL",
+    "THREE_G",
+    "BLUETOOTH",
+    "ALL_NETWORKS",
+    "PAPER_SWEEP_RTTS",
+    # errors
+    "ReproError",
+    "FileSystemError",
+    "KeypadError",
+    "NetworkUnavailableError",
+    "RpcError",
+    "ServiceUnavailableError",
+    "DeadlineExpiredError",
+    "OverloadSheddedError",
+    "RevokedError",
+    "AuthorizationError",
+    "LockedFileError",
+]

@@ -25,6 +25,14 @@ Subcommands:
   (cache hit vs. blocking fetch vs. IBE work, with wire sizes), then
   reconcile the trace's blocking-RPC spans against the transport
   counters; exits 2 if the two bookkeeping paths disagree.
+* ``keypad-audit fleet [--devices N --policy drr|fifo|none ...]``
+  Drive a simulated device fleet against one key service (or a
+  replicated cluster) through the server-side scheduler frontend and
+  print the throughput / latency / fairness / shed summary.
+
+Exit codes map the error taxonomy (:mod:`repro.errors`): 0 success,
+1 other Keypad error, 2 integrity/reconciliation mismatch,
+3 deadline expired, 4 service unavailable, 5 overload shed.
 """
 
 from __future__ import annotations
@@ -32,10 +40,34 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import (
+    DeadlineExpiredError,
+    NetworkUnavailableError,
+    OverloadSheddedError,
+    ReproError,
+    ServiceUnavailableError,
+)
 from repro.forensics.audit import AuditTool
 from repro.forensics.export import export_logs, load_bundle
 
-__all__ = ["main"]
+__all__ = ["main", "exit_code_for"]
+
+#: Distinct exit codes per error class (most specific first; 2 is
+#: reserved for integrity/reconciliation mismatches reported inline).
+EXIT_DEADLINE = 3
+EXIT_UNAVAILABLE = 4
+EXIT_SHED = 5
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The ``keypad-audit`` exit code for an error from the taxonomy."""
+    if isinstance(exc, OverloadSheddedError):
+        return EXIT_SHED
+    if isinstance(exc, DeadlineExpiredError):
+        return EXIT_DEADLINE
+    if isinstance(exc, (ServiceUnavailableError, NetworkUnavailableError)):
+        return EXIT_UNAVAILABLE
+    return 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -50,9 +82,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro.core import KeypadConfig
+    from repro.api import KeypadConfig
     from repro.harness import build_keypad_rig
-    from repro.net import THREE_G
+    from repro.api import THREE_G
 
     rig = build_keypad_rig(
         network=THREE_G,
@@ -91,10 +123,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_cluster_demo(args: argparse.Namespace) -> int:
     from repro.cluster import FaultEvent, FaultInjector, FaultPlan
-    from repro.core import KeypadConfig
+    from repro.api import KeypadConfig
     from repro.harness import build_keypad_rig
     from repro.harness.experiment import DEVICE_ID
-    from repro.net import THREE_G
+    from repro.api import THREE_G
 
     config = KeypadConfig(texp=args.texp, prefetch="dir:3").with_replication(
         args.threshold, args.replicas
@@ -192,9 +224,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.core import KeypadConfig
+    from repro.api import KeypadConfig
     from repro.harness import build_keypad_rig
-    from repro.net import THREE_G
+    from repro.api import THREE_G
 
     config = KeypadConfig(
         texp=args.texp, prefetch="dir:3", ibe_enabled=True,
@@ -239,6 +271,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
               "disagree about blocking round-trips", file=sys.stderr)
         return 2
     print("reconciled: span tree matches the blocking-RPC counters")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.api import run_fleet
+
+    frontend = None
+    if args.policy != "none":
+        frontend = {
+            "workers": args.workers,
+            "queue_limit": args.queue_limit,
+            "policy": args.policy,
+            "coalesce": args.coalesce,
+        }
+    result = run_fleet(
+        devices=args.devices,
+        duration=args.duration,
+        seed=args.seed.encode(),
+        scanner_fraction=args.scanners,
+        frontend=frontend,
+        replicas=args.replicas,
+        threshold=args.threshold,
+    )
+    summary = result.summary()
+    print(f"fleet: {summary['devices']} devices, "
+          f"{summary['duration_s']:.0f}s, policy={summary['policy']}")
+    print(f"  requested={summary['requested']} "
+          f"completed={summary['completed']} shed={summary['shed']} "
+          f"expired={summary['expired']} failed={summary['failed']}")
+    print(f"  throughput={summary['throughput_keys_per_s']:.1f} keys/s  "
+          f"p50={summary['fetch_p50_ms']:.2f} ms  "
+          f"p99={summary['fetch_p99_ms']:.2f} ms  "
+          f"shed_rate={summary['shed_rate']:.3f}")
+    fairness = summary["fairness_nonscanner"]
+    print("  fairness (worst non-scanner max/min goodput): "
+          + (f"{fairness:.2f}" if fairness is not None else
+             "n/a (a device was starved)"))
+    for name, row in sorted(summary["per_profile"].items()):
+        print(f"    {name:<9} n={row['devices']:<6} "
+              f"goodput={row['mean_goodput_keys_per_s']:.2f} keys/s/dev  "
+              f"shed={row['shed']}")
     return 0
 
 
@@ -321,13 +394,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reconciliation only (no trees); exit 2 on "
                             "mismatch")
     trace.set_defaults(func=_cmd_trace)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="drive a simulated device fleet through the server frontend",
+    )
+    fleet.add_argument("--devices", type=int, default=100,
+                       help="fleet size (default 100)")
+    fleet.add_argument("--duration", type=float, default=30.0,
+                       help="simulated seconds to run (default 30)")
+    fleet.add_argument("--policy", choices=("drr", "fifo", "none"),
+                       default="drr",
+                       help="frontend scheduler; 'none' = the legacy "
+                            "unbounded server (default drr)")
+    fleet.add_argument("--workers", type=int, default=8,
+                       help="concurrent server workers (default 8)")
+    fleet.add_argument("--queue-limit", type=int, default=64,
+                       help="per-device pending-request bound (default 64)")
+    fleet.add_argument("--coalesce", type=int, default=8,
+                       help="max cross-device group-commit size (default 8)")
+    fleet.add_argument("--scanners", type=float, default=0.10,
+                       help="fraction of file-scanner devices (default 0.1)")
+    fleet.add_argument("--seed", default="fleet",
+                       help="deterministic fleet seed (default 'fleet')")
+    fleet.add_argument("--replicas", type=int, default=1,
+                       help="key-service replicas (default 1 = single)")
+    fleet.add_argument("--threshold", type=int, default=1,
+                       help="secret-share threshold k (default 1)")
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"keypad-audit: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

@@ -70,6 +70,17 @@ class ReplicaGroup:
     def is_revoked(self, device_id: str) -> bool:
         return any(r.is_revoked(device_id) for r in self.replicas)
 
+    def install_frontends(self, **knobs) -> list:
+        """Install a scheduler frontend on every replica (fleet scale).
+
+        Keyword arguments are forwarded to
+        :meth:`~repro.core.services.keyservice.KeyService.install_frontend`;
+        each replica gets its own independent scheduler (fair queueing
+        and group commit are per-replica concerns — shares of one fetch
+        still land on k distinct logs).  Returns the frontends.
+        """
+        return [replica.install_frontend(**knobs) for replica in self.replicas]
+
     # -- introspection -------------------------------------------------------
     def available_count(self) -> int:
         return sum(1 for r in self.replicas if r.server.available)

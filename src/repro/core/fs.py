@@ -470,6 +470,7 @@ class KeypadFS(StackedCryptFs):
         audit_id = self.drbg.generate(AUDIT_ID_LEN)
         data_key = self.drbg.generate(DATA_KEY_LEN)
         yield from self.lower.create(self._enc(path))
+        self._logical_sizes[path] = 0
 
         if self.config.ibe_enabled:
             yield from self._create_with_ibe(
@@ -483,6 +484,7 @@ class KeypadFS(StackedCryptFs):
 
     def _create_unprotected(self, path: str) -> Generator:
         yield from self.lower.create(self._enc(path))
+        self._logical_sizes[path] = 0
         header = KeypadHeader(protected=False, file_iv=self.drbg.generate(16))
         yield from self._store_header(path, header)
         return None
@@ -893,6 +895,7 @@ class KeypadFS(StackedCryptFs):
             yield from self.lower.truncate(
                 self._enc(path), self.HEADER_LEN + size
             )
+            self._note_truncate(normalize(path), size)
         except BaseException as exc:
             if ctx is not None:
                 ctx.finish(exc)

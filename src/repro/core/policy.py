@@ -13,7 +13,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.util.paths import is_ancestor, normalize
 
-__all__ = ["KeypadConfig", "coverage_for_prefixes"]
+__all__ = ["KeypadConfig", "KeypadConfigBuilder", "coverage_for_prefixes"]
 
 
 def coverage_for_prefixes(prefixes: Sequence[str]) -> Callable[[str], bool]:
@@ -111,35 +111,71 @@ class KeypadConfig:
     # (cluster backoff and per-RPC retries draw from one pool);
     # 0 = no explicit budget (each layer's own policy governs).
     op_retry_budget: int = 0
+    # --- server-side frontend (fleet scale; see docs/PROTOCOL.md §10).
+    # Off by default: without it the key service keeps the paper's
+    # infinite-capacity model (every request served on arrival).
+    frontend_enabled: bool = False
+    # Concurrent server workers (the service's capacity).
+    frontend_workers: int = 8
+    # Per-device pending-request bound; arrivals beyond it are shed.
+    frontend_queue_limit: int = 64
+    # 'drr' (deficit-round-robin fair queueing) or 'fifo'.
+    frontend_policy: str = "drr"
+    # Deadline-based admission control (queue-limit shedding is always on).
+    frontend_shed: bool = True
+    # Max cross-device group-commit size for key.fetch (1 disables).
+    frontend_coalesce: int = 8
+    # DRR credit units granted per scheduling round.
+    frontend_quantum: int = 1
 
     def coverage(self) -> Callable[[str], bool]:
         return coverage_for_prefixes(self.protected_prefixes)
 
+    @classmethod
+    def builder(cls, base: Optional["KeypadConfig"] = None) -> "KeypadConfigBuilder":
+        """One chainable entry point for every feature bundle::
+
+            config = (KeypadConfig.builder()
+                      .fast_transport()
+                      .replication(k=2, m=3)
+                      .tracing(op_deadline=5.0)
+                      .frontend(workers=16)
+                      .build())
+
+        Replaces the accumulated ``with_*`` methods (kept as delegating
+        shims); a builder with no steps builds the exact default config.
+        """
+        return KeypadConfigBuilder(base if base is not None else cls())
+
+    def frontend_knobs(self) -> dict:
+        """The ``install_frontend`` kwargs this config encodes."""
+        return {
+            "workers": self.frontend_workers,
+            "queue_limit": self.frontend_queue_limit,
+            "policy": self.frontend_policy,
+            "shed": self.frontend_shed,
+            "coalesce": self.frontend_coalesce,
+            "quantum": self.frontend_quantum,
+        }
+
+    # -- legacy one-shot helpers (thin shims over the builder) --------------
     def with_texp(self, texp: float) -> "KeypadConfig":
-        return replace(self, texp=texp)
+        return KeypadConfigBuilder(self).texp(texp).build()
 
     def with_prefetch(self, spec: str) -> "KeypadConfig":
-        return replace(self, prefetch=spec)
+        return KeypadConfigBuilder(self).prefetch(spec).build()
 
     def with_ibe(self, enabled: bool) -> "KeypadConfig":
-        return replace(self, ibe_enabled=enabled)
+        return KeypadConfigBuilder(self).ibe(enabled).build()
 
     def with_fast_transport(
         self, key_shards: int = 4, max_inflight: int = 32
     ) -> "KeypadConfig":
-        """All transport optimisations on (the ablation's 'fast' arm).
-
-        The window default is generous: the seed's serial mode places no
-        bound on concurrent calls, so a tight window would *add* queuing
-        that the paper's prototype never had.
-        """
-        return replace(
-            self,
-            pipelining=True,
-            max_inflight=max_inflight,
-            coalesce_fetches=True,
-            write_behind=True,
-            key_shards=key_shards,
+        """Shim for ``builder().fast_transport(...)`` (see there)."""
+        return (
+            KeypadConfigBuilder(self)
+            .fast_transport(key_shards=key_shards, max_inflight=max_inflight)
+            .build()
         )
 
     def with_tracing(
@@ -147,15 +183,65 @@ class KeypadConfig:
         op_deadline: Optional[float] = None,
         op_retry_budget: int = 0,
     ) -> "KeypadConfig":
-        """Enable trace collection (and optionally op deadlines/budgets)."""
-        return replace(
-            self,
-            tracing=True,
-            op_deadline=op_deadline,
-            op_retry_budget=op_retry_budget,
+        """Shim for ``builder().tracing(...)`` (see there)."""
+        return (
+            KeypadConfigBuilder(self)
+            .tracing(op_deadline=op_deadline, op_retry_budget=op_retry_budget)
+            .build()
         )
 
     def with_replication(self, k: int = 2, m: int = 3, **knobs) -> "KeypadConfig":
+        """Shim for ``builder().replication(...)`` (see there)."""
+        return KeypadConfigBuilder(self).replication(k=k, m=m, **knobs).build()
+
+
+class KeypadConfigBuilder:
+    """Chainable construction of a :class:`KeypadConfig`.
+
+    Each step is a named feature bundle; steps compose in any order and
+    later steps override earlier ones (last-write-wins on shared
+    fields, like the dataclass ``replace`` calls they compile to).
+    ``build()`` returns the frozen config; the builder itself is
+    single-use plumbing and never escapes into the rig.
+    """
+
+    def __init__(self, base: Optional[KeypadConfig] = None):
+        self._config = base if base is not None else KeypadConfig()
+
+    # -- single-knob steps ---------------------------------------------------
+    def texp(self, seconds: float) -> "KeypadConfigBuilder":
+        self._config = replace(self._config, texp=seconds)
+        return self
+
+    def prefetch(self, spec: str) -> "KeypadConfigBuilder":
+        self._config = replace(self._config, prefetch=spec)
+        return self
+
+    def ibe(self, enabled: bool = True) -> "KeypadConfigBuilder":
+        self._config = replace(self._config, ibe_enabled=enabled)
+        return self
+
+    # -- feature bundles -----------------------------------------------------
+    def fast_transport(
+        self, key_shards: int = 4, max_inflight: int = 32
+    ) -> "KeypadConfigBuilder":
+        """All transport optimisations on (the ablation's 'fast' arm).
+
+        The window default is generous: the seed's serial mode places no
+        bound on concurrent calls, so a tight window would *add* queuing
+        that the paper's prototype never had.
+        """
+        self._config = replace(
+            self._config,
+            pipelining=True,
+            max_inflight=max_inflight,
+            coalesce_fetches=True,
+            write_behind=True,
+            key_shards=key_shards,
+        )
+        return self
+
+    def replication(self, k: int = 2, m: int = 3, **knobs) -> "KeypadConfigBuilder":
         """A k-of-m replicated key-service cluster (default 2-of-3).
 
         Extra keyword arguments override the ``replica_*`` client knobs
@@ -163,4 +249,49 @@ class KeypadConfig:
         """
         if not 1 <= k <= m:
             raise ValueError(f"need 1 <= k <= m, got k={k} m={m}")
-        return replace(self, replicas=m, replica_threshold=k, **knobs)
+        self._config = replace(
+            self._config, replicas=m, replica_threshold=k, **knobs
+        )
+        return self
+
+    def tracing(
+        self,
+        op_deadline: Optional[float] = None,
+        op_retry_budget: int = 0,
+    ) -> "KeypadConfigBuilder":
+        """Enable trace collection (and optionally op deadlines/budgets)."""
+        self._config = replace(
+            self._config,
+            tracing=True,
+            op_deadline=op_deadline,
+            op_retry_budget=op_retry_budget,
+        )
+        return self
+
+    def frontend(
+        self,
+        workers: int = 8,
+        queue_limit: int = 64,
+        policy: str = "drr",
+        shed: bool = True,
+        coalesce: int = 8,
+        quantum: int = 1,
+    ) -> "KeypadConfigBuilder":
+        """Install the server-side scheduler frontend on the rig's key
+        service(s): bounded workers, per-device fair queueing, deadline
+        admission control, and cross-device group commit (PROTOCOL.md
+        §10)."""
+        self._config = replace(
+            self._config,
+            frontend_enabled=True,
+            frontend_workers=workers,
+            frontend_queue_limit=queue_limit,
+            frontend_policy=policy,
+            frontend_shed=shed,
+            frontend_coalesce=coalesce,
+            frontend_quantum=quantum,
+        )
+        return self
+
+    def build(self) -> KeypadConfig:
+        return self._config

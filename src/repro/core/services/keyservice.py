@@ -114,7 +114,63 @@ class KeyService:
         if self._shard_locks is not None:
             self._shard_locks[shard].release()
 
+    # -- server-side frontend (fleet scale; see repro.server) ---------------
+    def install_frontend(
+        self,
+        workers: int = 8,
+        queue_limit: int = 64,
+        policy: str = "drr",
+        shed: bool = True,
+        coalesce: int = 8,
+        quantum: int = 1,
+    ):
+        """Bound this service's concurrency with a scheduler frontend.
+
+        The legacy server runs every request the moment it arrives; a
+        frontend gives the service ``workers`` of real capacity, fair
+        queueing across devices, deadline-aware load shedding, and
+        cross-device group commit of ``key.fetch`` (one durable-log
+        write amortised over the group via :meth:`fetch_group`).
+        Returns the installed :class:`~repro.server.ServiceFrontend`.
+        """
+        from repro.server import ServiceFrontend
+
+        frontend = ServiceFrontend(
+            self.sim,
+            self.server,
+            workers=workers,
+            queue_limit=queue_limit,
+            policy=policy,
+            shed=shed,
+            coalesce=coalesce,
+            quantum=quantum,
+            service_estimate=(
+                self.costs.service_log_append + self.costs.service_key_lookup
+            ),
+            group_methods={"key.fetch": self.fetch_group},
+        )
+        self.server.install_frontend(frontend)
+        return frontend
+
+    @property
+    def frontend(self):
+        return self.server.frontend
+
     # -- administration (out of band, by the victim / IT department) -------
+    def preload_key(self, device_id: str, audit_id: bytes, key: bytes) -> None:
+        """Out-of-band provisioning: bind an existing ``(ID, K_R)``.
+
+        Used by the fleet load generator and tests to stand up a
+        device's working set without an RPC per key — the binding
+        models keys created before the measurement window, so no audit
+        record is written (creates are only evidence when they happen
+        inside the window).
+        """
+        if len(audit_id) != AUDIT_ID_LEN or len(key) != REMOTE_KEY_LEN:
+            raise ValueError("malformed audit ID or key")
+        self._shard_map(audit_id)[audit_id] = key
+        self._owner[audit_id] = device_id
+
     def revoke_device(self, device_id: str) -> None:
         """Remote control: disable every key belonging to a device."""
         self._revoked_devices.add(device_id)
@@ -294,6 +350,81 @@ class KeyService:
         finally:
             self._shard_release(shard)
         return None
+
+    def fetch_group(self, requests: list[tuple[str, dict]]) -> Generator:
+        """Cross-device group commit of ``key.fetch`` requests.
+
+        Called by the server frontend, never as a wire method: when
+        several tenants' fetches are queued at once, one worker serves
+        the whole group and all members on a shard share one
+        durable-log write (``service_log_append``), while escrow
+        lookups — and, crucially, audit records — stay per request.
+        Batching amortises the write, never the evidence: the log holds
+        exactly the entries N individual fetches would have produced.
+
+        ``requests`` is ``[(device_id, payload), ...]`` with
+        ``key.fetch`` payloads (token dedup honoured, same as
+        :meth:`_handle_fetch`).  Returns one ``("ok", {"key": K_R})``
+        or ``("err", exc)`` outcome per request, in order.
+        """
+        outcomes: list = [None] * len(requests)
+        by_shard: dict[int, list[int]] = {}
+        for i, (_device_id, payload) in enumerate(requests):
+            audit_id = payload.get("audit_id") or b""
+            by_shard.setdefault(self._shard_of(audit_id), []).append(i)
+        for shard in sorted(by_shard):
+            yield from self._shard_queue(shard)
+            try:
+                # One durable write covers every member on this shard.
+                yield self.sim.timeout(self.costs.service_log_append)
+                records: list[tuple[float, str, str, dict]] = []
+                for i in by_shard[shard]:
+                    device_id, payload = requests[i]
+                    yield self.sim.timeout(self.costs.service_key_lookup)
+                    outcomes[i] = self._group_fetch_one(
+                        device_id, payload, records
+                    )
+                self.access_log.append_many(records)
+            finally:
+                self._shard_release(shard)
+        return outcomes
+
+    def _group_fetch_one(
+        self,
+        device_id: str,
+        payload: dict,
+        records: list[tuple[float, str, str, dict]],
+    ) -> tuple:
+        """One group member: same checks and records as a lone fetch."""
+        try:
+            if device_id in self._revoked_devices:
+                records.append(
+                    (self.sim.now, device_id, "denied", {"reason": "revoked"})
+                )
+                raise RevokedError(
+                    f"device {device_id} reported lost or stolen"
+                )
+            audit_id = payload["audit_id"]
+            kind = payload.get("kind", "fetch")
+            token = payload.get("token")
+            window = float(payload.get("window") or 0.0)
+            key = self._shard_map(audit_id).get(audit_id)
+            if key is None:
+                raise RpcError("unknown audit ID")
+            dedup = False
+            if token is not None:
+                logged_at = self._fetch_tokens.get(bytes(token))
+                dedup = (logged_at is not None
+                         and self.sim.now - logged_at <= window)
+            if not dedup:
+                records.append(
+                    (self.sim.now, device_id, kind, {"audit_id": audit_id})
+                )
+                if token is not None:
+                    self._fetch_tokens[bytes(token)] = self.sim.now
+            return ("ok", {"key": key})
+        except (RpcError, RevokedError) as exc:
+            return ("err", exc)
 
     def _handle_evict_notify(self, device_id: str, payload: dict) -> Generator:
         """Record key evictions on hibernation (§6: "such evictions

@@ -73,6 +73,23 @@ class AppendOnlyLog:
         self._entries.append(entry)
         return entry
 
+    def append_many(
+        self, records: list[tuple[float, str, str, dict]]
+    ) -> list[LogEntry]:
+        """Group commit: append N records under one durable write.
+
+        The records are ``(timestamp, device_id, kind, fields)`` tuples;
+        the chain math is identical to N individual appends (readers and
+        :meth:`verify_chain` cannot tell them apart).  The *durable
+        write charge* for the group is the caller's responsibility —
+        this is what lets the server frontend amortise one
+        ``service_log_append`` over a cross-device batch.
+        """
+        return [
+            self.append(timestamp, device_id, kind, **fields)
+            for timestamp, device_id, kind, fields in records
+        ]
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -143,6 +160,15 @@ class ShardedLog:
         entry = self.shards[idx].append(timestamp, device_id, kind, **fields)
         self._order.append(entry)
         return entry
+
+    def append_many(
+        self, records: list[tuple[float, str, str, dict]]
+    ) -> list[LogEntry]:
+        """Group commit across shards; global order follows the batch."""
+        return [
+            self.append(timestamp, device_id, kind, **fields)
+            for timestamp, device_id, kind, fields in records
+        ]
 
     def __len__(self) -> int:
         return len(self._order)

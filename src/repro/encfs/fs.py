@@ -51,6 +51,13 @@ class StackedCryptFs(FsInterface):
         self.costs = costs
         self.drbg = HmacDrbg(drbg_seed, b"per-file-material")
         self._header_cache: dict[str, Any] = {}
+        # Valid-ciphertext length per (normalized) path.  The lower FS
+        # zero-fills write gaps, and stored plaintext zeros decrypt to
+        # keystream garbage — writes past this point must encrypt the
+        # hole first.  Kept in memory (not a charged getattr) so the
+        # common path's simulated timing is unchanged; files not
+        # created through this instance are seeded lazily.
+        self._logical_sizes: dict[str, int] = {}
         self.op_counts: dict[str, int] = {}
         # Optional per-block content MACs (EncFS's --require-macs).
         # The default, like EncFS's, is off: content is confidential
@@ -133,10 +140,30 @@ class StackedCryptFs(FsInterface):
 
     def _evict_header(self, path: str) -> None:
         self._header_cache.pop(path, None)
+        self._logical_sizes.pop(path, None)
 
     def _move_header(self, old: str, new: str) -> None:
         if old in self._header_cache:
             self._header_cache[new] = self._header_cache.pop(old)
+        self._logical_sizes.pop(new, None)
+        if old in self._logical_sizes:
+            self._logical_sizes[new] = self._logical_sizes.pop(old)
+
+    def _logical_size(self, path: str) -> Generator:
+        """Valid-ciphertext length of *path* (already normalized)."""
+        size = self._logical_sizes.get(path)
+        if size is None:
+            attr = yield from self.lower.getattr(self._enc(path))
+            size = max(0, attr.size - self.HEADER_LEN)
+            self._logical_sizes[path] = size
+        return size
+
+    def _note_truncate(self, path: str, size: int) -> None:
+        # Truncate-to-larger extends with *stored* zeros; keeping the
+        # old mark means the next write past it re-encrypts the
+        # extension, so the hole reads back as plaintext zeros.
+        if path in self._logical_sizes:
+            self._logical_sizes[path] = min(self._logical_sizes[path], size)
 
     def _write_header_raw(self, path: str, raw: bytes) -> Generator:
         if len(raw) != self.HEADER_LEN:
@@ -173,6 +200,7 @@ class StackedCryptFs(FsInterface):
         from repro.util.paths import normalize
 
         self._header_cache[normalize(path)] = parsed
+        self._logical_sizes[normalize(path)] = 0
         yield from self._after_create(path)
         return None
 
@@ -223,10 +251,25 @@ class StackedCryptFs(FsInterface):
                     path, key, nonce, offset, data
                 )
             else:
-                cipher = stream_xor_at(key, nonce, data, offset)
-                yield from self.lower.write(
-                    self._enc(path), self.HEADER_LEN + offset, cipher
-                )
+                from repro.util.paths import normalize
+
+                npath = normalize(path)
+                logical = yield from self._logical_size(npath)
+                if offset > logical:
+                    # Writing past EOF: encrypt the hole too, or the
+                    # lower FS's zero-fill decrypts to garbage.
+                    cipher = stream_xor_at(
+                        key, nonce, bytes(offset - logical) + data, logical
+                    )
+                    yield from self.lower.write(
+                        self._enc(path), self.HEADER_LEN + logical, cipher
+                    )
+                else:
+                    cipher = stream_xor_at(key, nonce, data, offset)
+                    yield from self.lower.write(
+                        self._enc(path), self.HEADER_LEN + offset, cipher
+                    )
+                self._logical_sizes[npath] = max(logical, offset + len(data))
                 written = len(data)
         except BaseException as exc:
             if ctx is not None:
@@ -315,7 +358,9 @@ class StackedCryptFs(FsInterface):
         enc_path = self._enc(path)
         attr = yield from self.lower.getattr(enc_path)
         logical_size = max(0, attr.size - self.HEADER_LEN)
-        first = offset // block
+        # Start the read-modify-write at the old EOF block when writing
+        # past it, so hole blocks get encrypted (and tagged) too.
+        first = min(offset // block, logical_size // block)
         last = (offset + len(data) - 1) // block
         aligned = first * block
         # Read-modify-write at block granularity so every tag covers a
@@ -339,6 +384,11 @@ class StackedCryptFs(FsInterface):
                 mac_key, nonce, first + i // block, cipher[i:i + block]
             )
         yield from self._store_tags(path, tags)
+        from repro.util.paths import normalize
+
+        self._logical_sizes[normalize(path)] = max(
+            logical_size, offset + len(data)
+        )
         return len(data)
 
     def truncate(self, path: str, size: int) -> Generator:
@@ -348,6 +398,9 @@ class StackedCryptFs(FsInterface):
         # consistently and Keypad can audit the access.
         parsed = yield from self._header(path)
         yield from self.lower.truncate(self._enc(path), self.HEADER_LEN + size)
+        from repro.util.paths import normalize
+
+        self._note_truncate(normalize(path), size)
         if self.verify_content:
             yield from self._retag_after_truncate(path, parsed, size)
         return None

@@ -19,6 +19,7 @@ __all__ = [
     "RpcError",
     "ServiceUnavailableError",
     "DeadlineExpiredError",
+    "OverloadSheddedError",
     "RevokedError",
     "AuthorizationError",
     "LockedFileError",
@@ -104,6 +105,22 @@ class DeadlineExpiredError(ServiceUnavailableError):
     :class:`ServiceUnavailableError` so generic availability handling
     still applies, but retry loops treat it as terminal — a spent
     deadline must surface to the caller, never burn more attempts.
+    """
+
+
+class OverloadSheddedError(ServiceUnavailableError):
+    """Admission control dropped the request before serving it.
+
+    Raised by the server-side frontend (:mod:`repro.server`) when a
+    per-device queue is full or the scheduler's backlog estimate says
+    the request cannot meet its deadline.  The request was *never
+    admitted*: no key material was disclosed and no audit entry exists
+    for it, so shedding preserves the zero-false-negative audit
+    invariant by construction.  It subclasses
+    :class:`ServiceUnavailableError` so generic availability handling
+    (cluster failover, retry policies) applies unchanged, but — like a
+    spent deadline — it is load feedback: callers should back off, not
+    hammer the same service.
     """
 
 

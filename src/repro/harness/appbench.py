@@ -14,10 +14,10 @@ from __future__ import annotations
 
 from typing import Callable, Generator
 
-from repro.core import KeypadConfig
+from repro.core.policy import KeypadConfig
 from repro.harness.experiment import build_encfs_rig, build_keypad_rig
 from repro.harness.results import ResultTable
-from repro.net import ALL_NETWORKS, THREE_G, NetEnv
+from repro.net.netem import ALL_NETWORKS, THREE_G, NetEnv
 from repro.workloads import (
     CopyPhotoAlbumWorkload,
     FindInHierarchyWorkload,

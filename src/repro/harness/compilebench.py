@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core import KeypadConfig
+from repro.core.policy import KeypadConfig
 from repro.harness.experiment import (
     build_encfs_rig,
     build_ext3_rig,
@@ -22,7 +22,7 @@ from repro.harness.experiment import (
 )
 from repro.harness.results import ResultTable
 from repro.harness.runner import attach_perf, run_arms, run_tasks
-from repro.net import BROADBAND, DSL, LAN, THREE_G, NetEnv
+from repro.net.netem import BROADBAND, DSL, LAN, THREE_G, NetEnv
 from repro.workloads import ApacheCompileWorkload
 
 __all__ = [

@@ -15,18 +15,15 @@ from typing import Any, Generator, Optional
 from repro.costmodel import DEFAULT_COSTS, CostModel
 from repro.crypto.ibe import TOY
 from repro.encfs import EncfsFS, Volume
-from repro.net import BLUETOOTH, LAN, Link, NetEnv
+from repro.net.link import Link
+from repro.net.netem import BLUETOOTH, LAN, NetEnv
 from repro.sim import Simulation, SimRandom
 from repro.storage import BlockDevice, BufferCache, LocalFileSystem
-from repro.core import (
-    DeviceServices,
-    KeypadConfig,
-    KeypadFS,
-    KeyService,
-    MetadataService,
-    PairedPhone,
-    PhoneProxy,
-)
+from repro.core.client import DeviceServices
+from repro.core.fs import KeypadFS
+from repro.core.paired import PairedPhone, PhoneProxy
+from repro.core.policy import KeypadConfig
+from repro.core.services import KeyService, MetadataService
 
 __all__ = ["KeypadRig", "BaselineRig", "build_keypad_rig", "build_encfs_rig",
            "build_ext3_rig", "build_nfs_rig"]
@@ -272,6 +269,14 @@ def build_keypad_rig(
             write_behind_interval=config.write_behind_interval,
             tracer=tracer,
         )
+    frontends: list = []
+    if config.frontend_enabled:
+        knobs = config.frontend_knobs()
+        if replica_group is not None:
+            frontends = replica_group.install_frontends(**knobs)
+        else:
+            frontends = [key_service.install_frontend(**knobs)]
+
     fs = KeypadFS(
         sim, lower, volume, services, config=config, costs=costs,
         drbg_seed=b"keypad|" + seed,
@@ -295,6 +300,8 @@ def build_keypad_rig(
         replica_links=replica_links,
         tracer=tracer,
     )
+    if frontends:
+        rig.extras["frontends"] = frontends
 
     if with_phone:
         # The phone's cellular uplink defaults to the same environment

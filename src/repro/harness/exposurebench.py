@@ -14,12 +14,12 @@ import time
 from typing import Optional
 
 from repro.attack import run_scenario
-from repro.core import KeypadConfig
+from repro.core.policy import KeypadConfig
 from repro.forensics import AuditTool, analyze_fidelity
 from repro.harness.experiment import build_keypad_rig
 from repro.harness.results import ResultTable
 from repro.harness.runner import attach_perf, run_arms
-from repro.net import THREE_G, NetEnv
+from repro.net.netem import THREE_G, NetEnv
 from repro.workloads import (
     UsageTraceWorkload,
     average_over_windows,

@@ -13,11 +13,11 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.core import KeypadConfig
+from repro.core.policy import KeypadConfig
 from repro.harness.experiment import build_encfs_rig, build_keypad_rig
 from repro.harness.results import ResultTable
 from repro.harness.runner import attach_perf, run_tasks
-from repro.net import LAN, THREE_G, NetEnv
+from repro.net.netem import LAN, THREE_G, NetEnv
 
 __all__ = ["fig6a_content_ops", "fig6b_metadata_ops", "encfs_baseline_ops"]
 

@@ -31,6 +31,7 @@ a machine-readable record future PRs can diff instead of anecdotes.
 from __future__ import annotations
 
 import json
+import math
 import multiprocessing
 import os
 import time
@@ -45,6 +46,7 @@ __all__ = [
     "BenchPerf",
     "bench_jobs",
     "derive_arm_seed",
+    "percentile",
     "run_arms",
     "run_tasks",
     "attach_perf",
@@ -72,6 +74,18 @@ def derive_arm_seed(base: bytes, *parts: Any) -> bytes:
         material += b"|"
         material += part if isinstance(part, bytes) else str(part).encode()
     return sha256_fast(bytes(material))[:16]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (no interpolation, so results are exact
+    functions of the sample set — byte-stable across platforms)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered) / 100.0))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 @dataclass

@@ -56,6 +56,7 @@ from repro.errors import (
     DeadlineExpiredError,
     LockedFileError,
     NetworkUnavailableError,
+    OverloadSheddedError,
     RevokedError,
     RpcError,
     ServiceUnavailableError,
@@ -84,6 +85,7 @@ _FAULT_TYPES: dict[str, type] = {
     "AuthorizationError": AuthorizationError,
     "ServiceUnavailableError": ServiceUnavailableError,
     "DeadlineExpiredError": DeadlineExpiredError,
+    "OverloadSheddedError": OverloadSheddedError,
     "LockedFileError": LockedFileError,
 }
 
@@ -117,6 +119,9 @@ class RpcServer:
         self._handlers: dict[str, Callable] = {}
         self._device_secrets: dict[str, bytes] = {}
         self.available = True
+        #: optional server-side scheduler (repro.server.ServiceFrontend);
+        #: None keeps the legacy unbounded-concurrency dispatch path.
+        self.frontend: Any = None
         if protocol_version >= PROTOCOL_V2:
             # v1 servers predate negotiation; they simply lack the
             # method, which is what v2 clients detect and degrade on.
@@ -145,8 +150,41 @@ class RpcServer:
         except KeyError:
             raise AuthorizationError(f"unknown device {device_id!r}") from None
 
+    def install_frontend(self, frontend: Any) -> None:
+        """Route dispatch through a server-side scheduler.
+
+        ``frontend`` must expose ``handles(method) -> bool`` and a
+        generator ``dispatch(device_id, method, payload, deadline=None)``
+        that eventually drives :meth:`execute`.  Installing ``None``
+        restores the legacy direct path.
+        """
+        self.frontend = frontend
+
     # -- request execution (driven by RpcChannel) ---------------------------
-    def dispatch(self, device_id: str, method: str, payload: dict) -> Generator:
+    def dispatch(self, device_id: str, method: str, payload: dict,
+                 deadline: Optional[float] = None) -> Generator:
+        """Serve one request: via the frontend scheduler when one is
+        installed (and claims the method), else directly.
+
+        ``deadline`` is the caller's absolute sim-time budget, carried
+        out of band (it is part of the request envelope the cost model
+        already charges for, not extra wire bytes).  Only admission
+        control consumes it; without a frontend it is ignored and the
+        path is byte- and latency-identical to the legacy dispatch.
+        """
+        frontend = self.frontend
+        if frontend is not None and frontend.handles(method):
+            if not self.available:
+                raise ServiceUnavailableError(f"{self.name} is unavailable")
+            result = yield from frontend.dispatch(
+                device_id, method, payload, deadline=deadline
+            )
+            return result
+        result = yield from self.execute(device_id, method, payload)
+        return result
+
+    def execute(self, device_id: str, method: str, payload: dict) -> Generator:
+        """Resolve and run a handler (the pre-frontend dispatch body)."""
         if not self.available:
             raise ServiceUnavailableError(f"{self.name} is unavailable")
         handler = self._handlers.get(method)
@@ -379,16 +417,18 @@ class RpcChannel:
         self._maybe_ratchet()
         self.metrics.calls += 1
         self.metrics.serial_calls += 1
+        deadline = op_ctx.deadline if op_ctx is not None else None
         span, owner = self._span_begin(op_ctx, method, "serial")
         try:
-            result = yield from self._serial_body(method, params, span)
+            result = yield from self._serial_body(method, params, span, deadline)
         except BaseException as exc:
             self._span_end(span, owner, status=f"error:{type(exc).__name__}")
             raise
         self._span_end(span, owner)
         return result
 
-    def _serial_body(self, method: str, params: dict, span: Any) -> Generator:
+    def _serial_body(self, method: str, params: dict, span: Any,
+                     deadline: Optional[float] = None) -> Generator:
         # Authenticate: HMAC over device id, method, and payload bytes.
         request_plain = marshal_request(method, params)
         auth_tag = hmac_sha256(
@@ -432,7 +472,8 @@ class RpcChannel:
         )
         try:
             result = yield from server.dispatch(
-                self.device_id, message.method, message.payload
+                self.device_id, message.method, message.payload,
+                deadline=deadline,
             )
             fault: Optional[BaseException] = None
         except (RpcError, RevokedError, AuthorizationError,
@@ -488,10 +529,11 @@ class RpcChannel:
         self.metrics.calls += 1
         self.metrics.pipelined_calls += 1
         self.metrics.note_inflight(len(self._inflight))
+        deadline = op_ctx.deadline if op_ctx is not None else None
         span, owner = self._span_begin(op_ctx, method, "pipelined")
         try:
             result = yield from self._pipelined_body(
-                method, params, request_id, done, span
+                method, params, request_id, done, span, deadline
             )
         except BaseException as exc:
             self._span_end(span, owner, status=f"error:{type(exc).__name__}")
@@ -500,7 +542,8 @@ class RpcChannel:
         return result
 
     def _pipelined_body(self, method: str, params: dict, request_id: int,
-                        done: Event, span: Any) -> Generator:
+                        done: Event, span: Any,
+                        deadline: Optional[float] = None) -> Generator:
         try:
             request_plain = marshal_request(method, params)
             auth_tag = hmac_sha256(
@@ -529,7 +572,8 @@ class RpcChannel:
 
             self.sim.process(
                 self._serve_pipelined(
-                    request_id, request_plain, auth_tag, wire_size, done
+                    request_id, request_plain, auth_tag, wire_size, done,
+                    deadline
                 ),
                 name=f"rpc-serve-{self.server.name}-{request_id}",
             )
@@ -558,6 +602,7 @@ class RpcChannel:
         auth_tag: bytes,
         wire_size: int,
         done: Event,
+        deadline: Optional[float] = None,
     ) -> Generator:
         """Server-side half of a pipelined request (its own process)."""
         try:
@@ -574,7 +619,8 @@ class RpcChannel:
             )
             try:
                 result = yield from server.dispatch(
-                    self.device_id, message.method, message.payload
+                    self.device_id, message.method, message.payload,
+                    deadline=deadline,
                 )
             except (RpcError, RevokedError, AuthorizationError,
                     ServiceUnavailableError, LockedFileError) as exc:

@@ -1,0 +1,34 @@
+"""Server-side scalability layer for the key service.
+
+Everything a *fleet*-facing key service needs beyond the paper's
+single-device evaluation: per-device fair queueing with bounded
+queues (:mod:`repro.server.scheduler`), deadline-aware admission
+control, and cross-device group commit of audited fetches
+(:mod:`repro.server.frontend`).  Flag-gated end to end:
+``KeypadConfig.frontend_enabled`` defaults to off and nothing in this
+package is imported on the legacy path.
+"""
+
+from repro.server.frontend import (
+    DEFAULT_BYPASS,
+    FrontendMetrics,
+    ServiceFrontend,
+    default_request_cost,
+)
+from repro.server.scheduler import (
+    DrrScheduler,
+    FifoScheduler,
+    Request,
+    make_scheduler,
+)
+
+__all__ = [
+    "ServiceFrontend",
+    "FrontendMetrics",
+    "DEFAULT_BYPASS",
+    "default_request_cost",
+    "Request",
+    "DrrScheduler",
+    "FifoScheduler",
+    "make_scheduler",
+]

@@ -6,6 +6,7 @@ from repro.sim.kernel import (
     Interrupt,
     Process,
     Queue,
+    Semaphore,
     Simulation,
     SimulationError,
     Timeout,
@@ -19,6 +20,7 @@ __all__ = [
     "Timeout",
     "Queue",
     "Lock",
+    "Semaphore",
     "Interrupt",
     "SimulationError",
     "SimRandom",

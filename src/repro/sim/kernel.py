@@ -34,6 +34,7 @@ __all__ = [
     "Timeout",
     "Queue",
     "Lock",
+    "Semaphore",
     "Interrupt",
     "SimulationError",
 ]
@@ -222,6 +223,58 @@ class Lock:
     @property
     def locked(self) -> bool:
         return self._locked
+
+
+class Semaphore:
+    """Counting semaphore with FIFO handoff (a :class:`Lock` generalised
+    to ``capacity`` concurrent holders).
+
+    Used by the server frontend to bound worker concurrency.  Like
+    :class:`Lock`, a released slot is handed directly to the oldest
+    waiter, so admission order is deterministic.
+
+    Usage inside a process::
+
+        yield from sem.acquire()
+        try:
+            ...
+        finally:
+            sem.release()
+    """
+
+    def __init__(self, sim: "Simulation", capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"semaphore capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: list[Event] = []
+
+    def acquire(self) -> Generator:
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return None
+        event = Event(self.sim)
+        self._waiters.append(event)
+        yield event  # the slot is handed over on release
+        return None
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release of an unheld semaphore slot")
+        if self._waiters:
+            # Keep _in_use unchanged: the slot passes to the next waiter.
+            self._waiters.pop(0).succeed()
+        else:
+            self._in_use -= 1
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
 
 
 class Queue:

@@ -1,6 +1,15 @@
 """Workload generators reproducing the paper's evaluation inputs."""
 
 from repro.workloads.apache import ApacheCompileWorkload
+from repro.workloads.fleet import (
+    COMPILE,
+    FILESCAN,
+    OFFICE,
+    DeviceProfile,
+    FleetResult,
+    profile_for_index,
+    run_fleet,
+)
 from repro.workloads.filescan import CopyPhotoAlbumWorkload, FindInHierarchyWorkload
 from repro.workloads.fsops import (
     OpCounter,
@@ -19,6 +28,13 @@ from repro.workloads.trace import UsageTraceWorkload, average_over_windows
 
 __all__ = [
     "ApacheCompileWorkload",
+    "DeviceProfile",
+    "OFFICE",
+    "COMPILE",
+    "FILESCAN",
+    "profile_for_index",
+    "FleetResult",
+    "run_fleet",
     "FindInHierarchyWorkload",
     "CopyPhotoAlbumWorkload",
     "OfficeTask",

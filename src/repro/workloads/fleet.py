@@ -1,0 +1,453 @@
+"""A simulated device fleet driving one shared key service.
+
+The paper evaluates a single laptop against its key service; this
+module asks the server-side question instead: what happens when
+*thousands* of Keypad devices — each the paper's device, unmodified on
+the wire — share one key service (or one replica cluster)?  It mints
+``n`` closed-loop devices with mixed usage profiles and drives their
+``key.fetch`` / ``key.fetch_batch`` traffic through real
+:class:`~repro.net.rpc.RpcChannel` transports, so everything the
+frontend does (fair queueing, admission control, group commit — see
+:mod:`repro.server`) is exercised by the same authenticated RPC path a
+real device uses.
+
+Profiles mirror the paper's workload families:
+
+* ``office``  — sporadic single-key fetches (document editing),
+* ``compile`` — steady small batches (build trees touching few keys),
+* ``filescan``— aggressive prefetch batches (virus scan / grep -r),
+  the tenant that motivates fair queueing: §5's filescan workloads
+  issue hundreds of fetches per second and, against a FIFO server,
+  push every office user's fetch behind their own.
+
+Everything is deterministic: device ``i`` of a fleet seeded ``s``
+derives its RNG, secret, and working set from
+``derive_arm_seed(s, ..., i)``, so the same seed yields the same
+request sequence byte for byte regardless of fleet size or host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.core.context import OpContext
+from repro.core.services.keyservice import (
+    AUDIT_ID_LEN,
+    REMOTE_KEY_LEN,
+    KeyService,
+)
+from repro.costmodel import DEFAULT_COSTS, CostModel
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.secretshare import split_secret
+from repro.crypto.sha256 import sha256_fast
+from repro.errors import (
+    DeadlineExpiredError,
+    KeypadError,
+    OverloadSheddedError,
+)
+from repro.net.netem import LAN, NetEnv
+from repro.net.rpc import RpcChannel
+from repro.sim import SimRandom, Simulation
+
+__all__ = [
+    "DeviceProfile",
+    "OFFICE",
+    "COMPILE",
+    "FILESCAN",
+    "profile_for_index",
+    "DeviceStats",
+    "FleetDevice",
+    "FleetResult",
+    "run_fleet",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Closed-loop behaviour of one device class."""
+
+    name: str
+    #: mean seconds between requests (uniform ±10% jitter, so per-device
+    #: demand is tight and fairness ratios measure scheduling, not luck).
+    think_mean: float
+    #: audit IDs per request (1 => ``key.fetch``, else ``key.fetch_batch``).
+    batch: int
+    #: provisioned keys per device (requests draw from this set).
+    working_set: int
+    #: per-request budget in seconds; becomes the OpContext deadline the
+    #: server's admission control sees (None = no deadline).
+    deadline: Optional[float]
+    #: zipf skew over the working set (hot files are fetched more).
+    skew: float = 1.1
+
+
+OFFICE = DeviceProfile("office", think_mean=2.5, batch=1,
+                       working_set=8, deadline=1.5)
+COMPILE = DeviceProfile("compile", think_mean=2.0, batch=2,
+                        working_set=16, deadline=1.5)
+FILESCAN = DeviceProfile("filescan", think_mean=0.4, batch=8,
+                         working_set=32, deadline=6.0)
+
+
+def profile_for_index(index: int, scanner_fraction: float = 0.10) -> DeviceProfile:
+    """Deterministic interleaved mix.
+
+    Scanners land on every ``1/scanner_fraction``-th device; the rest
+    split 2:1 office:compile.  Interleaving (rather than blocking) keeps
+    every prefix of the fleet representative, so the 100-device arm is
+    a faithful miniature of the 10,000-device arm.
+    """
+    if scanner_fraction > 0:
+        period = max(1, round(1.0 / scanner_fraction))
+        if index % period == period - 1:
+            return FILESCAN
+    return COMPILE if index % 3 == 1 else OFFICE
+
+
+@dataclass
+class DeviceStats:
+    """Per-device outcome counters (the fairness evidence)."""
+
+    device_id: str
+    profile: str
+    requested: int = 0
+    completed: int = 0
+    shed: int = 0
+    expired: int = 0
+    failed: int = 0
+    keys_requested: int = 0
+    keys_served: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    def goodput(self, duration: float) -> float:
+        """Keys actually served per second of the run."""
+        return self.keys_served / duration if duration > 0 else 0.0
+
+    def service_fraction(self) -> float:
+        """Fraction of issued requests that completed."""
+        return self.completed / self.requested if self.requested else 0.0
+
+
+class FleetDevice:
+    """One closed-loop simulated device.
+
+    Issues a fetch, waits for the outcome, thinks, repeats — so offered
+    load self-clocks to service capacity the way real interactive
+    devices do.  Every request carries an :class:`OpContext` whose
+    absolute deadline reaches the server's admission control out of
+    band; a shed (:class:`OverloadSheddedError`) or a client-side
+    expiry (:class:`DeadlineExpiredError`) ends the attempt, and the
+    device moves on rather than retrying — the benchmark wants to see
+    drops, not hide them.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        index: int,
+        profile: DeviceProfile,
+        fleet_seed: bytes,
+        transport,
+        audit_ids: list[bytes],
+    ):
+        from repro.harness.runner import derive_arm_seed
+
+        self.sim = sim
+        self.index = index
+        self.profile = profile
+        self.device_id = f"dev-{index:05d}"
+        self.transport = transport
+        self.audit_ids = audit_ids
+        self.rand = SimRandom(
+            derive_arm_seed(fleet_seed, "device", index), "fleet-device"
+        )
+        self.stats = DeviceStats(device_id=self.device_id,
+                                 profile=profile.name)
+
+    # -- request construction -------------------------------------------------
+    def _pick_ids(self) -> list[bytes]:
+        return [
+            self.audit_ids[
+                self.rand.zipf_index(len(self.audit_ids), self.profile.skew)
+            ]
+            for _ in range(self.profile.batch)
+        ]
+
+    def _think(self) -> float:
+        jitter = self.rand.uniform(0.9, 1.1)
+        return self.profile.think_mean * jitter
+
+    def _fetch(self, audit_ids: list[bytes], ctx: Optional[OpContext]
+               ) -> Generator:
+        if isinstance(self.transport, RpcChannel):
+            if len(audit_ids) == 1:
+                yield from self.transport.call(
+                    "key.fetch", op_ctx=ctx,
+                    audit_id=audit_ids[0], kind="fetch",
+                )
+            else:
+                yield from self.transport.call(
+                    "key.fetch_batch", op_ctx=ctx,
+                    audit_ids=list(audit_ids), kind="fetch",
+                )
+        else:  # ReplicatedKeyClient
+            if len(audit_ids) == 1:
+                yield from self.transport.fetch(audit_ids[0], "fetch",
+                                                ctx=ctx)
+            else:
+                yield from self.transport.fetch_many(list(audit_ids),
+                                                     "fetch", ctx=ctx)
+
+    # -- the closed loop ------------------------------------------------------
+    def run(self, until: float) -> Generator:
+        # Desynchronised start: spread arrivals over one think interval.
+        yield self.sim.timeout(
+            self.rand.uniform(0.0, self.profile.think_mean)
+        )
+        while self.sim.now < until:
+            audit_ids = self._pick_ids()
+            ctx = None
+            if self.profile.deadline is not None:
+                ctx = OpContext(
+                    self.sim, "fleet.fetch", device_id=self.device_id,
+                    deadline=self.sim.now + self.profile.deadline,
+                )
+            started = self.sim.now
+            self.stats.requested += 1
+            self.stats.keys_requested += len(audit_ids)
+            try:
+                yield from self._fetch(audit_ids, ctx)
+            except OverloadSheddedError:
+                self.stats.shed += 1
+            except DeadlineExpiredError:
+                self.stats.expired += 1
+            except KeypadError:
+                self.stats.failed += 1
+            else:
+                self.stats.completed += 1
+                self.stats.keys_served += len(audit_ids)
+                self.stats.latencies.append(self.sim.now - started)
+            yield self.sim.timeout(self._think())
+
+
+@dataclass
+class FleetResult:
+    """Everything a fleet run measured, JSON-ready via :meth:`summary`."""
+
+    devices: int
+    duration: float
+    policy: str
+    stats: list[DeviceStats]
+    frontend_metrics: list[dict]
+
+    # -- aggregates -----------------------------------------------------------
+    def _latencies(self) -> list[float]:
+        out: list[float] = []
+        for stat in self.stats:
+            out.extend(stat.latencies)
+        return out
+
+    def fairness_ratio(self, profiles: tuple[str, ...] = ("office", "compile")
+                       ) -> Optional[float]:
+        """Worst within-profile max/min per-device goodput ratio.
+
+        Two deliberate choices keep this number about *scheduling*:
+        scanners are excluded (their demand is 50x an office user's, so
+        any cross-profile ratio measures appetite, not fairness), and
+        devices are compared against peers of their own profile —
+        identical demand, so under a fair scheduler every peer should
+        land within jitter of the same goodput.  An unfair scheduler
+        shows up immediately: the devices whose fetches got stuck
+        behind a scanner's backlog fall to a fraction of their peers'.
+        Returns ``None`` when some device got nothing at all (an
+        unbounded ratio).
+        """
+        worst: Optional[float] = None
+        for profile in profiles:
+            rates = [s.goodput(self.duration) for s in self.stats
+                     if s.profile == profile]
+            if not rates:
+                continue
+            low, high = min(rates), max(rates)
+            if low <= 0.0:
+                return None
+            ratio = high / low
+            if worst is None or ratio > worst:
+                worst = ratio
+        return worst
+
+    def per_profile(self) -> dict[str, dict]:
+        groups: dict[str, list[DeviceStats]] = {}
+        for stat in self.stats:
+            groups.setdefault(stat.profile, []).append(stat)
+        out: dict[str, dict] = {}
+        for name in sorted(groups):
+            members = groups[name]
+            requested = sum(s.requested for s in members)
+            completed = sum(s.completed for s in members)
+            served = sum(s.keys_served for s in members)
+            out[name] = {
+                "devices": len(members),
+                "requested": requested,
+                "completed": completed,
+                "shed": sum(s.shed for s in members),
+                "expired": sum(s.expired for s in members),
+                "failed": sum(s.failed for s in members),
+                "keys_served": served,
+                "mean_goodput_keys_per_s": (
+                    served / self.duration / len(members)
+                    if self.duration > 0 and members else 0.0
+                ),
+            }
+        return out
+
+    def summary(self) -> dict:
+        from repro.harness.runner import percentile
+
+        requested = sum(s.requested for s in self.stats)
+        completed = sum(s.completed for s in self.stats)
+        shed = sum(s.shed for s in self.stats)
+        expired = sum(s.expired for s in self.stats)
+        failed = sum(s.failed for s in self.stats)
+        served = sum(s.keys_served for s in self.stats)
+        latencies = self._latencies()
+        return {
+            "devices": self.devices,
+            "duration_s": self.duration,
+            "policy": self.policy,
+            "requested": requested,
+            "completed": completed,
+            "shed": shed,
+            "expired": expired,
+            "failed": failed,
+            "shed_rate": shed / requested if requested else 0.0,
+            "keys_served": served,
+            "throughput_keys_per_s": (
+                served / self.duration if self.duration > 0 else 0.0
+            ),
+            "fetch_p50_ms": percentile(latencies, 50.0) * 1e3,
+            "fetch_p99_ms": percentile(latencies, 99.0) * 1e3,
+            "fairness_nonscanner": self.fairness_ratio(),
+            "per_profile": self.per_profile(),
+            "frontend": self.frontend_metrics,
+        }
+
+
+def _derive_working_set(fleet_seed: bytes, index: int, count: int
+                        ) -> list[tuple[bytes, bytes]]:
+    """Deterministic (audit_id, key) pairs for device ``index``."""
+    pairs = []
+    for k in range(count):
+        tag = b"%s|dev%d|key%d" % (fleet_seed, index, k)
+        pairs.append((
+            sha256_fast(b"fleet-audit|" + tag)[:AUDIT_ID_LEN],
+            sha256_fast(b"fleet-key|" + tag)[:REMOTE_KEY_LEN],
+        ))
+    return pairs
+
+
+def run_fleet(
+    devices: int = 100,
+    duration: float = 30.0,
+    seed: bytes = b"fleet",
+    scanner_fraction: float = 0.10,
+    network: Optional[NetEnv] = None,
+    costs: CostModel = DEFAULT_COSTS,
+    frontend: Optional[dict] = None,
+    replicas: int = 1,
+    threshold: int = 1,
+    shards: int = 1,
+) -> FleetResult:
+    """Provision and drive a fleet; returns the measured result.
+
+    ``frontend`` is ``None`` for the legacy unbounded server (every
+    request served concurrently on arrival — the paper's one-device
+    model scaled naively), or a dict of
+    :meth:`~repro.core.services.keyservice.KeyService.install_frontend`
+    knobs (``workers``, ``policy``, ``queue_limit``, ``coalesce``, ...).
+    ``replicas > 1`` runs the fleet against a :class:`ReplicaGroup`
+    with ``threshold``-of-``replicas`` secret sharing instead of a
+    single service; keys are pre-split so each replica escrows one
+    share, exactly as ``put_key`` would have left them.
+
+    Devices are pre-provisioned out of band (``preload_key``): the
+    benchmark measures the steady-state fetch path, not enrolment.
+    """
+    from repro.harness.runner import derive_arm_seed
+
+    if devices < 1:
+        raise ValueError("fleet needs at least one device")
+    net = network or LAN
+    sim = Simulation()
+    frontends: list = []
+
+    if replicas > 1:
+        from repro.cluster.client import ReplicatedKeyClient
+        from repro.cluster.replica import ReplicaGroup
+
+        group = ReplicaGroup(
+            sim, m=replicas, k=threshold, costs=costs,
+            seed=derive_arm_seed(seed, "cluster"), shards=shards,
+        )
+        if frontend is not None:
+            frontends = group.install_frontends(**frontend)
+        share_drbg = HmacDrbg(derive_arm_seed(seed, "shares"),
+                              b"fleet-shares")
+        service = None
+    else:
+        service = KeyService(
+            sim, costs=costs, seed=derive_arm_seed(seed, "ks"),
+            name="fleet-keys", shards=shards,
+        )
+        if frontend is not None:
+            frontends = [service.install_frontend(**frontend)]
+        group = None
+        share_drbg = None
+
+    fleet: list[FleetDevice] = []
+    for index in range(devices):
+        profile = profile_for_index(index, scanner_fraction)
+        device_id = f"dev-{index:05d}"
+        secret = derive_arm_seed(seed, "secret", index)
+        pairs = _derive_working_set(seed, index, profile.working_set)
+        if group is not None:
+            links = [
+                net.make_link(sim, label=f"fleet-{index}-r{j}")
+                for j in range(replicas)
+            ]
+            transport = ReplicatedKeyClient(
+                sim, device_id, secret, group, links, costs=costs,
+                rng=SimRandom(derive_arm_seed(seed, "rng", index),
+                              "fleet-client"),
+                share_seed=derive_arm_seed(seed, "client-shares", index),
+            )
+            for audit_id, key in pairs:
+                shares = split_secret(key, threshold, replicas, share_drbg)
+                for j, replica in enumerate(group.replicas):
+                    replica.preload_key(device_id, audit_id, shares[j])
+        else:
+            service.enroll_device(device_id, secret)
+            link = net.make_link(sim, label=f"fleet-{index}")
+            transport = RpcChannel(sim, link, service.server, device_id,
+                                   secret, costs=costs)
+            for audit_id, key in pairs:
+                service.preload_key(device_id, audit_id, key)
+        device = FleetDevice(sim, index, profile, seed, transport,
+                             [audit_id for audit_id, _ in pairs])
+        fleet.append(device)
+
+    procs = [
+        sim.process(device.run(duration), name=device.device_id)
+        for device in fleet
+    ]
+    sim.run_until(sim.all_of(procs))
+
+    policy = frontends[0].policy if frontends else "unbounded"
+    return FleetResult(
+        devices=devices,
+        duration=duration,
+        policy=policy,
+        stats=[device.stats for device in fleet],
+        frontend_metrics=[f.metrics.as_dict() for f in frontends],
+    )

@@ -1,0 +1,184 @@
+"""The stable facade contract: ``repro.api``, the config builder, the
+deprecation shims, and the CLI exit-code taxonomy.
+
+``repro.api.__all__`` is snapshotted here on purpose — renaming or
+dropping a public name should fail a test, not a downstream script.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro.cli import exit_code_for
+from repro.core.policy import KeypadConfig
+from repro.errors import (
+    AuthorizationError,
+    DeadlineExpiredError,
+    KeypadError,
+    NetworkUnavailableError,
+    OverloadSheddedError,
+    ServiceUnavailableError,
+)
+
+#: the published surface, frozen.  Additions belong at the end of the
+#: matching group in repro/api.py *and* here; removals are breaking.
+API_SURFACE = sorted([
+    # rig construction
+    "mount", "build_keypad_rig", "build_encfs_rig", "build_ext3_rig",
+    "build_nfs_rig", "KeypadRig", "BaselineRig", "Simulation",
+    # configuration
+    "KeypadConfig", "KeypadConfigBuilder", "coverage_for_prefixes",
+    "CostModel", "DEFAULT_COSTS",
+    # core sessions / services
+    "KeypadFS", "KeyService", "MetadataService", "DeviceServices",
+    "ServiceSession", "KeyCreate", "KeyFetch", "OpContext", "Span",
+    "TraceCollector",
+    # cluster
+    "ReplicaGroup", "ReplicatedKeyClient", "ReplicatedDeviceServices",
+    "ClusterAuditLog",
+    # forensics
+    "AuditTool", "AuditReport",
+    # fleet scale
+    "run_fleet", "FleetResult", "DeviceProfile", "ServiceFrontend",
+    # networks
+    "NetEnv", "Link", "LAN", "WLAN", "BROADBAND", "DSL", "THREE_G",
+    "BLUETOOTH", "ALL_NETWORKS", "PAPER_SWEEP_RTTS",
+    # errors
+    "ReproError", "FileSystemError", "KeypadError",
+    "NetworkUnavailableError", "RpcError", "ServiceUnavailableError",
+    "DeadlineExpiredError", "OverloadSheddedError", "RevokedError",
+    "AuthorizationError", "LockedFileError",
+])
+
+
+class TestApiSurface:
+    def test_all_matches_snapshot(self):
+        assert sorted(api.__all__) == API_SURFACE
+
+    def test_every_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_mount_is_build_keypad_rig(self):
+        assert api.mount is api.build_keypad_rig
+
+
+class TestDeprecationShims:
+    def test_core_names_warn_but_resolve(self):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            from repro.core import KeypadFS  # noqa: F401
+        from repro.core.fs import KeypadFS as direct
+
+        with pytest.warns(DeprecationWarning):
+            import repro.core as core
+
+            assert core.KeypadFS is direct
+
+    def test_net_names_warn_but_resolve(self):
+        with pytest.warns(DeprecationWarning, match="repro.net.netem"):
+            from repro.net import LAN  # noqa: F401
+        from repro.net.netem import LAN as direct
+
+        with pytest.warns(DeprecationWarning):
+            import repro.net as net
+
+            assert net.LAN is direct
+
+    def test_every_historical_name_still_importable(self):
+        import repro.core as core
+        import repro.net as net
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name in core.__all__:
+                assert getattr(core, name) is not None, name
+            for name in net.__all__:
+                assert getattr(net, name) is not None, name
+
+    def test_unknown_name_raises_attribute_error(self):
+        import repro.core as core
+
+        with pytest.raises(AttributeError):
+            core.NoSuchThing  # noqa: B018
+
+    def test_submodule_imports_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            import repro.core.fs  # noqa: F401
+            import repro.net.rpc  # noqa: F401
+
+
+class TestConfigBuilder:
+    def test_empty_builder_is_default_config(self):
+        assert KeypadConfig.builder().build() == KeypadConfig()
+
+    def test_shims_equal_builder(self):
+        base = KeypadConfig()
+        assert base.with_fast_transport() == (
+            KeypadConfig.builder().fast_transport().build()
+        )
+        assert base.with_replication(2, 3) == (
+            KeypadConfig.builder().replication(k=2, m=3).build()
+        )
+        assert base.with_tracing(op_deadline=5.0) == (
+            KeypadConfig.builder().tracing(op_deadline=5.0).build()
+        )
+        assert base.with_texp(30.0) == (
+            KeypadConfig.builder().texp(30.0).build()
+        )
+
+    def test_bundles_chain(self):
+        config = (
+            KeypadConfig.builder()
+            .fast_transport(key_shards=2)
+            .replication(k=2, m=3, replica_deadline=1.5)
+            .tracing()
+            .frontend(workers=16, policy="fifo")
+            .build()
+        )
+        assert config.pipelining and config.key_shards == 2
+        assert config.replicas == 3 and config.replica_threshold == 2
+        assert config.replica_deadline == 1.5
+        assert config.tracing
+        assert config.frontend_enabled
+        assert config.frontend_workers == 16
+        assert config.frontend_knobs()["policy"] == "fifo"
+
+    def test_builder_from_base(self):
+        base = KeypadConfig(texp=42.0)
+        built = KeypadConfig.builder(base).frontend().build()
+        assert built.texp == 42.0 and built.frontend_enabled
+
+    def test_replication_validates(self):
+        with pytest.raises(ValueError):
+            KeypadConfig.builder().replication(k=4, m=3)
+
+    def test_flags_off_defaults_unchanged(self):
+        config = KeypadConfig()
+        assert not config.frontend_enabled
+        assert not config.pipelining
+        assert config.replicas == 1
+        assert not config.tracing
+
+
+class TestExitCodes:
+    def test_taxonomy_maps_to_distinct_codes(self):
+        codes = {
+            exit_code_for(OverloadSheddedError("x")),
+            exit_code_for(DeadlineExpiredError("x")),
+            exit_code_for(ServiceUnavailableError("x")),
+            exit_code_for(KeypadError("x")),
+        }
+        assert len(codes) == 4
+
+    def test_shed_beats_unavailable(self):
+        # OverloadSheddedError IS-A ServiceUnavailableError (existing
+        # fault handling keeps working); the CLI still distinguishes it.
+        assert issubclass(OverloadSheddedError, ServiceUnavailableError)
+        assert exit_code_for(OverloadSheddedError("x")) == 5
+        assert exit_code_for(DeadlineExpiredError("x")) == 3
+        assert exit_code_for(NetworkUnavailableError("x")) == 4
+        assert exit_code_for(AuthorizationError("x")) == 1

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Import linter for the stable facade (docs/API.md).
+
+First-party entry points — ``src/repro/cli.py``, ``benchmarks/``, and
+``examples/`` — must not import from the shimmed legacy packages
+``repro.core`` and ``repro.net``; the supported names all live in
+``repro.api``.  The shims exist so *downstream* scripts keep working
+(with a ``DeprecationWarning``), not so our own entry points can keep
+leaning on internal layout.  This check fails CI on any new deep
+import of a shimmed module.
+
+Dependency-free by design (stdlib ``ast`` only): it runs in the lint
+job before the package is installed.
+
+Usage::
+
+    python tools/check_api_imports.py            # check the default set
+    python tools/check_api_imports.py FILE...    # check specific files
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: packages whose contents are deprecated shims; anything under them is
+#: internal layout that entry points must reach through repro.api.
+SHIMMED = ("repro.core", "repro.net")
+
+DEFAULT_TARGETS = (
+    "src/repro/cli.py",
+    "benchmarks",
+    "examples",
+)
+
+
+def _is_shimmed(module: str) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in SHIMMED
+    )
+
+
+def violations(path: Path) -> list[tuple[int, str]]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    bad: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_shimmed(alias.name):
+                    bad.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module and _is_shimmed(node.module):
+                names = ", ".join(alias.name for alias in node.names)
+                bad.append((node.lineno, f"from {node.module} import {names}"))
+    return bad
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or list(DEFAULT_TARGETS)
+    files: list[Path] = []
+    for target in targets:
+        path = (REPO / target) if not Path(target).is_absolute() else Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.py")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"check_api_imports: no such target: {target}",
+                  file=sys.stderr)
+            return 2
+
+    failed = False
+    for path in files:
+        for lineno, stmt in violations(path):
+            failed = True
+            rel = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+            print(f"{rel}:{lineno}: deep import of shimmed module "
+                  f"({stmt}) — import from repro.api instead")
+    if failed:
+        return 1
+    print(f"check_api_imports: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
