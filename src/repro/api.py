@@ -20,7 +20,13 @@ The groups:
   :class:`ClusterAuditLog` over a replica group's.
 * **Fleet scale** — :func:`run_fleet` drives thousands of simulated
   devices against one service; :class:`ServiceFrontend` is the
-  server-side scheduler it exercises.
+  server-side scheduler it exercises; :class:`ControlEvent` scripts
+  mid-run admin actions.
+* **Runtime control** — :func:`open_control` attaches a
+  :class:`ControlServer` to a mounted rig and returns a
+  :class:`ControlClient`; :class:`PolicyEpoch` is the mount-held live
+  policy cell its verbs update; :class:`StorageBackend` is the
+  pluggable lower-store contract (``ext3`` / ``memory`` / ``cas``).
 * **Errors** — the single taxonomy from :mod:`repro.errors`.
 
 Old deep-import paths (``from repro.core import KeypadConfig``, ...)
@@ -29,9 +35,11 @@ keep working but emit :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
+from repro.control import ControlClient, ControlServer, open_control
 from repro.core.policy import (
     KeypadConfig,
     KeypadConfigBuilder,
+    PolicyEpoch,
     coverage_for_prefixes,
 )
 from repro.core.client import (
@@ -52,6 +60,8 @@ from repro.cluster.replica import ReplicaGroup
 from repro.costmodel import DEFAULT_COSTS, CostModel
 from repro.errors import (
     AuthorizationError,
+    ConfigError,
+    ControlError,
     DeadlineExpiredError,
     FileSystemError,
     KeypadError,
@@ -86,7 +96,18 @@ from repro.net.netem import (
 )
 from repro.server import ServiceFrontend
 from repro.sim import Simulation
-from repro.workloads.fleet import DeviceProfile, FleetResult, run_fleet
+from repro.storage.backend import (
+    BACKENDS,
+    StorageBackend,
+    StorageStack,
+    make_backend,
+)
+from repro.workloads.fleet import (
+    ControlEvent,
+    DeviceProfile,
+    FleetResult,
+    run_fleet,
+)
 
 #: The one-call entry point: build a fully wired Keypad world.
 mount = build_keypad_rig
@@ -131,6 +152,17 @@ __all__ = [
     "FleetResult",
     "DeviceProfile",
     "ServiceFrontend",
+    "ControlEvent",
+    # runtime control plane
+    "open_control",
+    "ControlServer",
+    "ControlClient",
+    "PolicyEpoch",
+    # pluggable storage backends
+    "StorageBackend",
+    "StorageStack",
+    "BACKENDS",
+    "make_backend",
     # networks
     "NetEnv",
     "Link",
@@ -154,4 +186,6 @@ __all__ = [
     "RevokedError",
     "AuthorizationError",
     "LockedFileError",
+    "ConfigError",
+    "ControlError",
 ]

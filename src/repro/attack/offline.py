@@ -28,7 +28,7 @@ from repro.crypto.ibe import decrypt as ibe_decrypt
 from repro.crypto.stream import stream_xor_at
 from repro.encfs.volume import Volume
 from repro.errors import CryptoError, KeypadError, ReproError
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 from repro.util.paths import normalize
 from repro.core.client import DeviceServices
 from repro.core.header import (

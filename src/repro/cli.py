@@ -29,10 +29,16 @@ Subcommands:
   Drive a simulated device fleet against one key service (or a
   replicated cluster) through the server-side scheduler frontend and
   print the throughput / latency / fairness / shed summary.
+* ``keypad-audit ctl <verb>`` — set-texp / revoke / add-dir / drain /
+  tail-trace.  Each verb mounts a self-contained rig, opens the live
+  control channel (docs/CONTROL.md), issues the admin command mid-run,
+  and prints what changed — the runtime-reconfiguration pipeline end
+  to end.
 
 Exit codes map the error taxonomy (:mod:`repro.errors`): 0 success,
 1 other Keypad error, 2 integrity/reconciliation mismatch,
-3 deadline expired, 4 service unavailable, 5 overload shed.
+3 deadline expired, 4 service unavailable, 5 overload shed,
+6 control-channel error.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ import argparse
 import sys
 
 from repro.errors import (
+    ControlError,
     DeadlineExpiredError,
     NetworkUnavailableError,
     OverloadSheddedError,
@@ -57,10 +64,13 @@ __all__ = ["main", "exit_code_for"]
 EXIT_DEADLINE = 3
 EXIT_UNAVAILABLE = 4
 EXIT_SHED = 5
+EXIT_CONTROL = 6
 
 
 def exit_code_for(exc: BaseException) -> int:
     """The ``keypad-audit`` exit code for an error from the taxonomy."""
+    if isinstance(exc, ControlError):
+        return EXIT_CONTROL
     if isinstance(exc, OverloadSheddedError):
         return EXIT_SHED
     if isinstance(exc, DeadlineExpiredError):
@@ -315,6 +325,119 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ctl_rig(args: argparse.Namespace):
+    """One small mounted world for a ``ctl`` verb demo."""
+    from repro.api import KeypadConfig, open_control
+    from repro.harness import build_keypad_rig
+
+    builder = (
+        KeypadConfig.builder()
+        .texp(args.texp)
+        .tracing()
+        .frontend(workers=4)
+        .storage(args.backend)
+    )
+    rig = build_keypad_rig(config=builder.build())
+
+    def owner():
+        yield from rig.fs.mkdir("/home")
+        for name in ("medical.txt", "taxes.pdf", "notes.md"):
+            yield from rig.fs.create(f"/home/{name}")
+            yield from rig.fs.write(f"/home/{name}", 0, b"confidential")
+
+    rig.run(owner())
+    return rig, open_control(rig)
+
+
+def _cmd_ctl(args: argparse.Namespace) -> int:
+    rig, ctl = _ctl_rig(args)
+    fs = rig.fs
+
+    if args.verb == "set-texp":
+        def scenario():
+            before = yield from ctl.status()
+            result = yield from ctl.set_texp(args.value, args.inflight)
+            return before, result
+
+        before, result = rig.run(scenario())
+        print(f"texp: {before['texp']} -> {result['texp']} "
+              f"(inflight {result['texp_inflight']}, "
+              f"policy epoch {before['epoch']} -> {result['epoch']})")
+        return 0
+
+    if args.verb == "revoke":
+        device = args.device or rig.services.device_id
+
+        def scenario():
+            result = yield from ctl.revoke(device)
+            fs.key_cache.evict_all()
+            try:
+                yield from fs.read("/home/taxes.pdf", 0, 12)
+            except ReproError as exc:
+                return result, f"{type(exc).__name__}: {exc}"
+            return result, None
+
+        result, refusal = rig.run(scenario())
+        print(f"revoked {result['revoked']} at "
+              f"{result['services']} service(s)")
+        if refusal is None:
+            print("ERROR: a cold read still succeeded after revocation",
+                  file=sys.stderr)
+            return 2
+        print(f"cold read refused: {refusal}")
+        return 0
+
+    if args.verb == "add-dir":
+        def scenario():
+            result = yield from ctl.add_dir(args.path)
+            return result
+
+        result = rig.run(scenario())
+        print(f"protected prefixes (epoch {result['epoch']}): "
+              + " ".join(result["protected_prefixes"]))
+        return 0
+
+    if args.verb == "drain":
+        def scenario():
+            result = yield from ctl.drain(args.index)
+            fs.key_cache.evict_all()
+            try:
+                yield from fs.read("/home/taxes.pdf", 0, 12)
+                shed = False
+            except OverloadSheddedError:
+                shed = True
+            yield from ctl.admit(args.index)
+            yield from fs.read("/home/taxes.pdf", 0, 12)
+            return result, shed
+
+        result, shed = rig.run(scenario())
+        frontends = rig.extras.get("frontends", [])
+        print(f"drained {result['draining']} frontend(s); cold read while "
+              f"draining was {'shed' if shed else 'NOT shed'}; "
+              "re-admitted and served")
+        for i, frontend in enumerate(frontends):
+            print(f"  frontend[{i}]: "
+                  f"shed_draining={frontend.metrics.shed_draining}")
+        return 0 if shed else 2
+
+    # tail-trace
+    def scenario():
+        fs.key_cache.evict_all()
+        for name in ("medical.txt", "taxes.pdf", "notes.md"):
+            yield from fs.read(f"/home/{name}", 0, 12)
+        page = yield from ctl.tail_trace(cursor=args.cursor,
+                                         limit=args.limit)
+        return page
+
+    page = rig.run(scenario())
+    print(f"trace: {page['total']} ops total, cursor -> {page['cursor']}")
+    for op in page["ops"]:
+        print(f"  [{op['start']:9.3f}] {op['op']:<8} {op['path']:<20} "
+              f"{op['status']:<6} {op['duration'] * 1e3:8.2f} ms "
+              f"({op['spans']} spans)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="keypad-audit",
@@ -422,6 +545,47 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--threshold", type=int, default=1,
                        help="secret-share threshold k (default 1)")
     fleet.set_defaults(func=_cmd_fleet)
+
+    ctl = sub.add_parser(
+        "ctl",
+        help="runtime control-channel verbs against a demo rig",
+    )
+    ctl.add_argument("--texp", type=float, default=100.0,
+                     help="mount-time Texp (default 100s)")
+    ctl.add_argument("--backend", choices=("ext3", "memory", "cas"),
+                     default="ext3",
+                     help="storage backend to mount (default ext3)")
+    ctl_sub = ctl.add_subparsers(dest="verb", required=True)
+
+    set_texp = ctl_sub.add_parser(
+        "set-texp", help="change Texp on the live mount")
+    set_texp.add_argument("value", type=float,
+                          help="new Texp in seconds (0 disables caching)")
+    set_texp.add_argument("--inflight", type=float, default=None,
+                          help="also change the in-flight Texp bound")
+
+    revoke = ctl_sub.add_parser(
+        "revoke", help="revoke a device, then prove cold reads fail")
+    revoke.add_argument("--device", default=None,
+                        help="device id (default: the rig's laptop)")
+
+    add_dir = ctl_sub.add_parser(
+        "add-dir", help="add a protected directory prefix")
+    add_dir.add_argument("path", help="absolute directory path")
+
+    drain = ctl_sub.add_parser(
+        "drain", help="drain the frontend, show the shed, re-admit")
+    drain.add_argument("--index", type=int, default=None,
+                       help="frontend index (default: all)")
+
+    tail = ctl_sub.add_parser(
+        "tail-trace", help="stream live per-op trace spans")
+    tail.add_argument("--cursor", type=int, default=0,
+                      help="resume cursor from a previous page (default 0)")
+    tail.add_argument("--limit", type=int, default=50,
+                      help="max ops per page (default 50)")
+
+    ctl.set_defaults(func=_cmd_ctl)
     return parser
 
 

@@ -1,0 +1,17 @@
+"""The live control plane (docs/CONTROL.md).
+
+An in-process admin channel for a mounted Keypad world: a
+:class:`ControlServer` attaches to the rig's :class:`PolicyEpoch`,
+key service(s), frontends and tracer, and serves typed ``ctl.*`` verbs
+over the same authenticated :class:`~repro.net.rpc.RpcChannel`
+machinery the data plane uses.  :func:`open_control` wires one up for
+a rig in one call.
+
+Nothing here runs unless explicitly opened: a rig without a control
+server is byte-identical to the pre-control tree.
+"""
+
+from repro.control.client import ControlClient
+from repro.control.server import ControlServer, open_control
+
+__all__ = ["ControlServer", "ControlClient", "open_control"]

@@ -86,8 +86,8 @@ class OpContext:
     """Explicit per-operation context threaded from FS ops to the wire."""
 
     __slots__ = ("sim", "op", "device_id", "path", "op_id", "deadline",
-                 "retry_budget", "collector", "blocking", "root", "_stack",
-                 "_finished")
+                 "retry_budget", "collector", "blocking", "config", "root",
+                 "_stack", "_finished")
 
     def __init__(
         self,
@@ -99,6 +99,7 @@ class OpContext:
         retry_budget: Optional[int] = None,
         collector: Optional["TraceCollector"] = None,
         blocking: bool = True,
+        config: Optional[Any] = None,
     ):
         self.sim = sim
         self.op = op
@@ -107,6 +108,9 @@ class OpContext:
         self.deadline = deadline
         self.retry_budget = retry_budget
         self.collector = collector
+        #: the op's policy snapshot (a frozen KeypadConfig from the
+        #: mount's PolicyEpoch) — one VFS op never mixes two epochs.
+        self.config = config
         #: False for maintenance work (write-behind flushes) whose RPCs
         #: the blocking-RPC counters already exclude.
         self.blocking = blocking

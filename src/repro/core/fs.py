@@ -36,7 +36,7 @@ from repro.errors import (
     RevokedError,
 )
 from repro.sim import Simulation
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 from repro.util.paths import basename, normalize, parent_of
 from repro.core.client import (
     DirRegistration,
@@ -61,7 +61,7 @@ from repro.core.header import (
 )
 from repro.core.context import OpContext, maybe_span
 from repro.core.keycache import KeyCache
-from repro.core.policy import KeypadConfig
+from repro.core.policy import KeypadConfig, PolicyEpoch
 from repro.core.prefetch import decision_attrs, filter_inflight, make_policy
 from repro.core.services.metadataservice import ROOT_DIR_ID, identity_string
 
@@ -108,8 +108,16 @@ class KeypadFS(StackedCryptFs):
         super().__init__(sim, lower, volume, costs, drbg_seed=drbg_seed,
                          verify_content=verify_content)
         self.services = services
-        self.config = config
-        self.is_protected = config.coverage()
+        # The mount-held policy cell.  A plain KeypadConfig is wrapped;
+        # passing a PolicyEpoch shares the cell (the control server
+        # updates it and this FS observes the change).
+        self.policy = (
+            config if isinstance(config, PolicyEpoch) else PolicyEpoch(config)
+        )
+        self.policy.subscribe(self._on_policy_change)
+        # Set by ControlServer.attach: ops then mint an OpContext (and
+        # with it a per-op policy snapshot) even when tracing is off.
+        self.control_enabled = False
         # The session owns the TraceCollector (if any); the FS mints a
         # per-VFS-op OpContext against it (see _op_context).
         self.tracer = services.tracer
@@ -119,7 +127,7 @@ class KeypadFS(StackedCryptFs):
             on_evict=self._note_eviction if services.write_behind else None,
             tracer=self.tracer,
         )
-        self.prefetch_policy = make_policy(config.prefetch)
+        self.prefetch_policy = make_policy(self.policy.config.prefetch)
         self.ibe_params = services.metadata_service.pkg.params
         self.ibe_public = services.metadata_service.pkg.public(
             seed=drbg_seed + b"|ibe"
@@ -160,13 +168,48 @@ class KeypadFS(StackedCryptFs):
         return None
 
     # ------------------------------------------------------------------
+    # Live policy (PolicyEpoch) access.
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> KeypadConfig:
+        """The current epoch's config.  Assignment replaces it wholesale
+        (validated) — the historical test seam for flipping knobs."""
+        return self.policy.config
+
+    @config.setter
+    def config(self, value: KeypadConfig) -> None:
+        self.policy.replace_config(value)
+
+    def is_protected(self, path: str) -> bool:
+        return self.policy.coverage(path)
+
+    def _cfg(self, ctx: Optional[OpContext] = None) -> KeypadConfig:
+        """The policy snapshot governing this op: the one stamped on its
+        context when there is one, the current epoch otherwise."""
+        if ctx is not None and ctx.config is not None:
+            return ctx.config
+        return self.policy.config
+
+    def _on_policy_change(self, old: KeypadConfig, new: KeypadConfig) -> None:
+        """Epoch-change subscriber: re-target live derived state."""
+        if new.texp != old.texp:
+            self.key_cache.retarget_texp(new.texp)
+        if new.prefetch != old.prefetch:
+            self.prefetch_policy = make_policy(new.prefetch)
+
+    # ------------------------------------------------------------------
     # Per-operation contexts (deadline / retry budget / trace spans).
     # ------------------------------------------------------------------
     def _op_context(self, op: str, path: str) -> Optional[OpContext]:
-        """Mint the op's context, or None when observability is off."""
-        cfg = self.config
+        """Mint the op's context, or None when observability is off.
+
+        With a control server attached, every op gets a context purely
+        to carry its policy snapshot — a mid-op ``ctl.set-texp`` must
+        not hand one VFS op a mix of two epochs' knobs.
+        """
+        cfg = self.policy.snapshot()
         if (self.tracer is None and cfg.op_deadline is None
-                and not cfg.op_retry_budget):
+                and not cfg.op_retry_budget and not self.control_enabled):
             return None
         deadline = (
             None if cfg.op_deadline is None else self.sim.now + cfg.op_deadline
@@ -179,6 +222,7 @@ class KeypadFS(StackedCryptFs):
             deadline=deadline,
             retry_budget=cfg.op_retry_budget or None,
             collector=self.tracer,
+            config=cfg,
         )
 
     def _background_context(self, op: str, path: str = "") -> Optional[OpContext]:
@@ -301,7 +345,8 @@ class KeypadFS(StackedCryptFs):
             remote_key = yield from self.services.fetch(KeyFetch(audit_id), ctx)
         yield self.sim.timeout(self.costs.keypad_header_crypt)
         data_key = unwrap_data_key(header.wrapped_kd, remote_key)
-        self.key_cache.put(audit_id, remote_key, data_key, texp=self.config.texp)
+        self.key_cache.put(audit_id, remote_key, data_key,
+                           texp=self._cfg(ctx).texp)
         yield from self._maybe_prefetch(path, ctx)
         return data_key, nonce
 
@@ -437,7 +482,7 @@ class KeypadFS(StackedCryptFs):
                 child_header.audit_id,
                 remote_key,
                 data_key,
-                texp=self.config.texp,
+                texp=self._cfg(ctx).texp,
                 prefetched=True,
             )
             self.stats["prefetched_keys"] += 1
@@ -472,7 +517,7 @@ class KeypadFS(StackedCryptFs):
         yield from self.lower.create(self._enc(path))
         self._logical_sizes[path] = 0
 
-        if self.config.ibe_enabled:
+        if self._cfg(ctx).ibe_enabled:
             yield from self._create_with_ibe(
                 path, dir_id, name, audit_id, data_key, ctx
             )
@@ -517,7 +562,8 @@ class KeypadFS(StackedCryptFs):
         wrapped = wrap_data_key(data_key, remote_key, self.drbg)
         header = KeypadHeader(protected=True, audit_id=audit_id, wrapped_kd=wrapped)
         yield from self._store_header(path, header)
-        self.key_cache.put(audit_id, remote_key, data_key, texp=self.config.texp)
+        self.key_cache.put(audit_id, remote_key, data_key,
+                           texp=self._cfg(ctx).texp)
         return None
 
     def _create_with_ibe(
@@ -543,7 +589,7 @@ class KeypadFS(StackedCryptFs):
         yield from self._store_header(path, header)
         self.key_cache.put(
             audit_id, remote_key, data_key,
-            texp=self.config.texp_inflight, refreshable=False,
+            texp=self._cfg(ctx).texp_inflight, refreshable=False,
         )
         self.stats["ibe_locks"] += 1
         self.stats["async_metadata_ops"] += 1
@@ -586,7 +632,7 @@ class KeypadFS(StackedCryptFs):
 
         dir_id = yield from self._ensure_dir_id(parent_of(new), ctx)
         name = basename(new)
-        if header.locked and self.config.ibe_enabled:
+        if header.locked and self._cfg(ctx).ibe_enabled:
             pending = self._pending_unlocks.get(header.audit_id)
             if pending is not None:
                 # Supersede the in-flight registration: re-lock under
@@ -599,7 +645,7 @@ class KeypadFS(StackedCryptFs):
         elif header.locked:
             header = yield from self._await_unlocked(old, header, ctx)
 
-        if self.config.ibe_enabled:
+        if self._cfg(ctx).ibe_enabled:
             yield from self._rename_with_ibe(old, new, header, dir_id, name)
         else:
             yield from self.lower.rename(self._enc(old), self._enc(new))
@@ -631,7 +677,7 @@ class KeypadFS(StackedCryptFs):
         self._move_header(old, new)
         pending.identity = identity
         pending.path_hint = normalize(new)
-        self.key_cache.restrict(header.audit_id, self.config.texp_inflight)
+        self.key_cache.restrict(header.audit_id, self._cfg().texp_inflight)
         self.stats["ibe_locks"] += 1
         self.stats["async_metadata_ops"] += 1
         return None
@@ -647,7 +693,7 @@ class KeypadFS(StackedCryptFs):
         yield from self.lower.rename(self._enc(old), self._enc(new))
         self._move_header(old, new)
         # Shorten the cached key's life to the in-flight window.
-        self.key_cache.restrict(header.audit_id, self.config.texp_inflight)
+        self.key_cache.restrict(header.audit_id, self._cfg().texp_inflight)
         self.stats["ibe_locks"] += 1
         self.stats["async_metadata_ops"] += 1
         self._spawn_registration(
@@ -760,7 +806,7 @@ class KeypadFS(StackedCryptFs):
                         ctx.finish(exc)
                     return None
                 attempts += 1
-                if attempts >= self.config.registration_max_retries:
+                if attempts >= self._cfg(ctx).registration_max_retries:
                     self._pending_unlocks.pop(audit_id, None)
                     failure = LockedFileError(
                         f"metadata registration for {pending.path_hint} "
@@ -770,7 +816,7 @@ class KeypadFS(StackedCryptFs):
                     if ctx is not None:
                         ctx.finish(failure)
                     return None
-                yield self.sim.timeout(self.config.registration_retry_delay)
+                yield self.sim.timeout(self._cfg(ctx).registration_retry_delay)
 
         # Unlock: the paper decrypts the on-disk key with IBE in a
         # background thread.  We hold the cleartext wrapped blob from
@@ -788,7 +834,7 @@ class KeypadFS(StackedCryptFs):
                 yield from self._store_header(path_hint, new_header)
                 self.stats["ibe_unlocks"] += 1
                 # Restore the full expiration now that metadata is safe.
-                self.key_cache.extend(audit_id, self.config.texp)
+                self.key_cache.extend(audit_id, self._cfg(ctx).texp)
         self._pending_unlocks.pop(audit_id, None)
         if not pending.event.triggered:
             pending.event.succeed()
@@ -819,7 +865,7 @@ class KeypadFS(StackedCryptFs):
             parent_id = self._dir_id(parent_of(path))
             dir_id = self._new_dir_id()
             self._dir_ids[path] = dir_id
-            if self.config.ibe_for_directories:
+            if self._cfg(ctx).ibe_for_directories:
                 # Extension: asynchronous directory registration.  Any
                 # file registered under this directory waits (in the
                 # background) for the dir ack, so its IBE lock cannot
@@ -858,11 +904,11 @@ class KeypadFS(StackedCryptFs):
                 break
             except (NetworkUnavailableError, KeypadError) as exc:
                 attempts += 1
-                if attempts >= self.config.registration_max_retries:
+                if attempts >= self._cfg(ctx).registration_max_retries:
                     if ctx is not None:
                         ctx.finish(exc)
                     return None  # ack never fires; files stay locked
-                yield self.sim.timeout(self.config.registration_retry_delay)
+                yield self.sim.timeout(self._cfg(ctx).registration_retry_delay)
         event = self._dir_acks.pop(dir_id, None)
         if event is not None and not event.triggered:
             event.succeed()
@@ -909,7 +955,7 @@ class KeypadFS(StackedCryptFs):
         ctx = self._op_context("set_xattr", path)
         try:
             yield from self.lower.set_xattr(self._enc(path), name, value)
-            if self.config.track_xattrs:
+            if self._cfg(ctx).track_xattrs:
                 header = yield from self._header(path)
                 if header.protected:
                     request = XattrRegistration(
@@ -982,7 +1028,7 @@ class KeypadFS(StackedCryptFs):
             data_key = unwrap_data_key(header.wrapped_kd, remote_key)
             self.key_cache.put(
                 header.audit_id, remote_key, data_key,
-                texp=self.config.texp, prefetched=True,
+                texp=self._cfg(ctx).texp, prefetched=True,
             )
             fetched += 1
         self.stats["prefetched_keys"] += fetched

@@ -206,6 +206,40 @@ class KeyCache:
             entry.texp = max_remaining
             self._watch(entry)
 
+    def retarget_texp(self, new_texp: float) -> int:
+        """Apply a live Texp change (control channel) to resident keys.
+
+        Refreshable entries adopt the new lifetime; when the change
+        *shortens* their remaining life the expiry moves earlier at
+        once (a tighter Texp must bound the attack window immediately),
+        while a lengthened Texp only applies from the next
+        fetch/refresh — in-place extension would grant lifetime no
+        audited fetch ever vouched for.  Unrefreshable (in-flight
+        IBE-locked) entries keep their short fuse untouched.  Returns
+        the number of entries whose expiry was shortened.
+        """
+        if new_texp <= 0:
+            # Caching disabled mid-run: erase everything now.
+            count = len(self._entries)
+            for audit_id in list(self._entries):
+                self.expirations += 1
+                self.evict(audit_id)
+                if self.on_evict is not None:
+                    self.on_evict(audit_id, "texp-retarget")
+            return count
+        shortened = 0
+        for entry in self._entries.values():
+            if not entry.refreshable:
+                continue
+            entry.texp = new_texp
+            new_expiry = self.sim.now + new_texp
+            if new_expiry < entry.expires_at:
+                entry.generation = self._next_generation()
+                entry.expires_at = new_expiry
+                self._watch(entry)
+                shortened += 1
+        return shortened
+
     def evict(self, audit_id: bytes) -> None:
         entry = self._entries.pop(audit_id, None)
         if entry is not None:

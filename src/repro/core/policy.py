@@ -4,16 +4,57 @@ Groups every tunable the evaluation sweeps: key expiration time,
 in-flight (IBE-locked) expiration, prefetch policy, whether IBE is
 enabled (the paper disables it below ~25 ms RTT), and the partial
 coverage domain (§3.6).
+
+Two lifecycles, one type.  A :class:`KeypadConfig` is frozen, but since
+the live control plane (docs/CONTROL.md) a mounted file system holds it
+inside a :class:`PolicyEpoch` — a mount-held cell whose *runtime
+mutable* knobs (``RUNTIME_MUTABLE``) the control channel may replace
+mid-run, bumping an epoch counter.  Operations snapshot the epoch's
+config once (per :class:`~repro.core.context.OpContext`) so a single
+VFS op never observes a mix of old and new policy.  Everything outside
+``RUNTIME_MUTABLE`` is mount-frozen: :meth:`PolicyEpoch.update`
+refuses it with :class:`~repro.errors.ConfigError`, the same uniform
+error :meth:`KeypadConfigBuilder.build` raises for contradictory
+bundles and that the builder raises for runtime-only control verbs
+passed as mount-time knobs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Optional, Sequence
 
+from repro.errors import ConfigError
 from repro.util.paths import is_ancestor, normalize
 
-__all__ = ["KeypadConfig", "KeypadConfigBuilder", "coverage_for_prefixes"]
+__all__ = [
+    "KeypadConfig",
+    "KeypadConfigBuilder",
+    "PolicyEpoch",
+    "coverage_for_prefixes",
+    "validate_config",
+    "RUNTIME_MUTABLE",
+]
+
+#: knobs the control channel may change on a live mount.  Everything
+#: else is mount-frozen structure (transport mode, replica topology,
+#: frontend capacity, storage backend) that would need a remount.
+RUNTIME_MUTABLE = frozenset({
+    "texp",
+    "texp_inflight",
+    "prefetch",
+    "protected_prefixes",
+    "registration_retry_delay",
+    "registration_max_retries",
+})
+
+#: control verbs that are runtime *actions*, not config fields; naming
+#: one as a mount-time knob gets a targeted error instead of a generic
+#: unknown-field complaint.
+_RUNTIME_VERBS = frozenset({
+    "drain", "admit", "revoke", "rotate_secret", "swap_backend",
+    "tail_trace",
+})
 
 
 def coverage_for_prefixes(prefixes: Sequence[str]) -> Callable[[str], bool]:
@@ -127,6 +168,10 @@ class KeypadConfig:
     frontend_coalesce: int = 8
     # DRR credit units granted per scheduling round.
     frontend_quantum: int = 1
+    # --- storage backend (see repro.storage.backend).  'ext3' keeps
+    # the paper's BlockDevice -> BufferCache -> LocalFileSystem stack
+    # byte for byte; 'memory' and 'cas' are opt-in alternatives.
+    storage_backend: str = "ext3"
 
     def coverage(self) -> Callable[[str], bool]:
         return coverage_for_prefixes(self.protected_prefixes)
@@ -245,13 +290,36 @@ class KeypadConfigBuilder:
         """A k-of-m replicated key-service cluster (default 2-of-3).
 
         Extra keyword arguments override the ``replica_*`` client knobs
-        (deadline, hedging, retries, cooldown).
+        (deadline, hedging, retries, cooldown) — and *only* those.
+        Historically this escape hatch forwarded anything to the
+        dataclass, so ``.frontend(...).replication(..., frontend_enabled=
+        False)`` silently undid an earlier bundle depending on call
+        order; now a non-``replica_*`` name raises
+        :class:`~repro.errors.ConfigError` immediately.
         """
         if not 1 <= k <= m:
-            raise ValueError(f"need 1 <= k <= m, got k={k} m={m}")
+            raise ConfigError(
+                f"need 1 <= k <= m, got k={k} m={m}"
+            )
+        for name in knobs:
+            _reject_runtime_verb(name)
+            if not name.startswith("replica_"):
+                raise ConfigError(
+                    f"replication() only takes replica_* knobs, got "
+                    f"{name!r} (set it through its own bundle so "
+                    "bundle order cannot silently override it)"
+                )
         self._config = replace(
             self._config, replicas=m, replica_threshold=k, **knobs
         )
+        return self
+
+    def storage(self, backend: str = "ext3") -> "KeypadConfigBuilder":
+        """Select the lower storage backend (see repro.storage.backend):
+        ``'ext3'`` (the default block-device stack), ``'memory'``
+        (zero-I/O ideal store), or ``'cas'`` (content-addressed,
+        deduplicating)."""
+        self._config = replace(self._config, storage_backend=backend)
         return self
 
     def tracing(
@@ -294,4 +362,183 @@ class KeypadConfigBuilder:
         return self
 
     def build(self) -> KeypadConfig:
+        """Validate the accumulated bundles once and return the config.
+
+        Cross-feature constraints live here (and nowhere else) so every
+        construction order hits the same checks; a contradictory
+        combination raises :class:`~repro.errors.ConfigError`.
+        """
+        validate_config(self._config)
         return self._config
+
+
+def _reject_runtime_verb(name: str) -> None:
+    if name in _RUNTIME_VERBS:
+        raise ConfigError(
+            f"{name!r} is a runtime control verb (see docs/CONTROL.md), "
+            "not a mount-time knob; issue it through a ControlClient on "
+            "the live mount instead"
+        )
+
+
+def _positive(config: KeypadConfig, name: str) -> None:
+    value = getattr(config, name)
+    if not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+
+
+def validate_config(config: KeypadConfig) -> KeypadConfig:
+    """Cross-feature validation shared by ``build()`` and mount.
+
+    Raises :class:`~repro.errors.ConfigError` (the one uniform type)
+    on any contradiction; returns the config unchanged otherwise so
+    call sites can chain it.
+    """
+    for name in ("texp_inflight", "rekey_interval",
+                 "registration_retry_delay", "write_behind_interval",
+                 "replica_deadline", "replica_backoff",
+                 "replica_backoff_cap", "replica_cooldown"):
+        _positive(config, name)
+    # texp=0.0 is the paper's no-caching arm ("unoptimized"), so zero
+    # is meaningful; only negatives are contradictions.
+    if config.texp < 0:
+        raise ConfigError(f"texp must be >= 0 (0 disables caching), "
+                          f"got {config.texp!r}")
+    if config.texp > 0 and config.texp_inflight > config.texp:
+        raise ConfigError(
+            f"texp_inflight ({config.texp_inflight}) must not exceed "
+            f"texp ({config.texp}): the in-flight window is a "
+            "*restriction* of the full expiration"
+        )
+    if config.registration_max_retries < 1:
+        raise ConfigError("registration_max_retries must be >= 1")
+    if config.max_inflight < 1:
+        raise ConfigError("max_inflight must be >= 1")
+    if config.key_shards < 1:
+        raise ConfigError("key_shards must be >= 1")
+    if not 1 <= config.replica_threshold <= config.replicas:
+        raise ConfigError(
+            f"need 1 <= threshold <= replicas, got "
+            f"threshold={config.replica_threshold} "
+            f"replicas={config.replicas}"
+        )
+    if config.replica_max_retries < 0:
+        raise ConfigError("replica_max_retries must be >= 0")
+    if config.replica_failure_threshold < 1:
+        raise ConfigError("replica_failure_threshold must be >= 1")
+    if config.op_deadline is not None and not config.op_deadline > 0:
+        raise ConfigError(f"op_deadline must be > 0 or None, "
+                          f"got {config.op_deadline!r}")
+    if config.op_retry_budget < 0:
+        raise ConfigError("op_retry_budget must be >= 0")
+    if config.frontend_policy not in ("drr", "fifo"):
+        raise ConfigError(
+            f"frontend_policy must be 'drr' or 'fifo', "
+            f"got {config.frontend_policy!r}"
+        )
+    for name in ("frontend_workers", "frontend_queue_limit",
+                 "frontend_coalesce", "frontend_quantum"):
+        if getattr(config, name) < 1:
+            raise ConfigError(f"{name} must be >= 1")
+    if not config.protected_prefixes:
+        raise ConfigError(
+            "protected_prefixes must not be empty — use an unprotected "
+            "baseline rig (build_encfs_rig) to disable Keypad coverage"
+        )
+    from repro.core.prefetch import make_policy
+
+    try:
+        make_policy(config.prefetch)
+    except Exception as exc:
+        raise ConfigError(
+            f"bad prefetch spec {config.prefetch!r}: {exc}"
+        ) from None
+    from repro.storage.backend import BACKENDS
+
+    if config.storage_backend not in BACKENDS:
+        raise ConfigError(
+            f"unknown storage backend {config.storage_backend!r}; "
+            f"choose one of {sorted(BACKENDS)}"
+        )
+    return config
+
+
+class PolicyEpoch:
+    """The mount-held policy cell: a frozen config plus an epoch counter.
+
+    A mounted :class:`~repro.core.fs.KeypadFS` reads its knobs through
+    one of these instead of a frozen global.  The control channel calls
+    :meth:`update` to replace the runtime-mutable subset atomically;
+    each update bumps ``epoch`` and notifies subscribers (the FS uses
+    this to re-target the key cache and rebuild the prefetch policy).
+    Operations call :meth:`snapshot` once at entry, so one VFS op never
+    mixes two epochs' knobs.
+    """
+
+    def __init__(self, config: KeypadConfig):
+        self._config = validate_config(config)
+        self.epoch = 0
+        self._coverage = config.coverage()
+        self._subscribers: list[Callable[[KeypadConfig, KeypadConfig], None]] = []
+
+    # -- reads ---------------------------------------------------------------
+    @property
+    def config(self) -> KeypadConfig:
+        return self._config
+
+    def snapshot(self) -> KeypadConfig:
+        """The per-op snapshot (frozen, so sharing the object is safe)."""
+        return self._config
+
+    def coverage(self, path: str) -> bool:
+        """Protected-domain test against the *current* epoch (cached
+        per epoch: rebuilding the predicate per call would make every
+        VFS op pay for a control-plane feature that is off)."""
+        return self._coverage(path)
+
+    def subscribe(
+        self, fn: Callable[[KeypadConfig, KeypadConfig], None]
+    ) -> None:
+        """Register ``fn(old_config, new_config)`` for epoch changes."""
+        self._subscribers.append(fn)
+
+    # -- writes --------------------------------------------------------------
+    def update(self, **changes: Any) -> KeypadConfig:
+        """Replace runtime-mutable knobs; one atomic epoch bump.
+
+        Raises :class:`~repro.errors.ConfigError` for unknown fields,
+        mount-frozen fields, or a resulting config that fails
+        cross-validation.  Returns the new config.
+        """
+        known = {f.name for f in fields(KeypadConfig)}
+        for name in changes:
+            if name not in known:
+                _reject_runtime_verb(name)
+                raise ConfigError(f"unknown config field {name!r}")
+            if name not in RUNTIME_MUTABLE:
+                raise ConfigError(
+                    f"{name!r} is mount-frozen; changing it needs a "
+                    "remount (runtime-mutable knobs: "
+                    f"{sorted(RUNTIME_MUTABLE)})"
+                )
+        if "protected_prefixes" in changes:
+            changes["protected_prefixes"] = tuple(
+                changes["protected_prefixes"]
+            )
+        return self._install(replace(self._config, **changes))
+
+    def replace_config(self, config: KeypadConfig) -> KeypadConfig:
+        """Wholesale replacement (test/diagnostic seam — e.g. the
+        deadline-invariant suite flips ``op_deadline`` between runs).
+        Still validated; mount-frozen fields are the caller's risk."""
+        return self._install(config)
+
+    def _install(self, new: KeypadConfig) -> KeypadConfig:
+        validate_config(new)
+        old, self._config = self._config, new
+        self.epoch += 1
+        if new.protected_prefixes != old.protected_prefixes:
+            self._coverage = new.coverage()
+        for fn in self._subscribers:
+            fn(old, new)
+        return new

@@ -22,7 +22,7 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.stream import stream_xor_at
 from repro.errors import CryptoError, IntegrityError
 from repro.sim import Simulation
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 from repro.storage.localfs import Attr
 from repro.encfs.volume import Volume
 

@@ -23,6 +23,8 @@ __all__ = [
     "RevokedError",
     "AuthorizationError",
     "LockedFileError",
+    "ConfigError",
+    "ControlError",
 ]
 
 
@@ -134,3 +136,27 @@ class AuthorizationError(KeypadError):
 
 class LockedFileError(KeypadError):
     """File is IBE-locked pending metadata registration confirmation."""
+
+
+class ConfigError(KeypadError, ValueError):
+    """A configuration bundle is contradictory or out of range.
+
+    The one uniform type for every constraint the policy layer checks:
+    :meth:`KeypadConfigBuilder.build` cross-validates feature bundles
+    through it, mount (:func:`build_keypad_rig`) re-checks directly
+    constructed configs, and :meth:`PolicyEpoch.update` raises it for
+    attempts to change a mount-frozen knob at runtime (or to pass a
+    runtime-only control verb as a mount-time knob).  Subclasses
+    :class:`ValueError` too so historical ``except ValueError`` callers
+    keep working.
+    """
+
+
+class ControlError(KeypadError):
+    """A control-channel command failed (unknown verb, bad target,
+    or a precondition like "volume must be empty" not met).
+
+    Maps to CLI exit code 6 — distinct from deadline (3), unavailable
+    (4), and shed (5) so fleet tooling can tell a broken admin action
+    from a data-plane failure.
+    """

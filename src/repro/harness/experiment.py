@@ -180,8 +180,17 @@ def build_keypad_rig(
     bluetooth: NetEnv = BLUETOOTH,
 ) -> KeypadRig:
     """The full Keypad stack over a network with the given RTT."""
+    # Fail fast on contradictory bundles and runtime-only knobs before
+    # any services are built (PolicyEpoch re-validates on every update).
+    from repro.core.policy import validate_config
+    from repro.storage.backend import make_backend
+
+    validate_config(config)
     sim = Simulation()
-    device, cache, lower = _storage_stack(sim, costs, n_blocks)
+    stack = make_backend(config.storage_backend).create(
+        sim, costs=costs, n_blocks=n_blocks
+    )
+    device, cache, lower = stack.device, stack.cache, stack.fs
     volume = Volume(password)
 
     metadata_service = MetadataService(
@@ -300,6 +309,7 @@ def build_keypad_rig(
         replica_links=replica_links,
         tracer=tracer,
     )
+    rig.extras["backend"] = stack
     if frontends:
         rig.extras["frontends"] = frontends
 

@@ -53,6 +53,7 @@ from repro.crypto.hmac import hmac_sha256
 from repro.crypto.kdf import hkdf_sha256
 from repro.errors import (
     AuthorizationError,
+    ControlError,
     DeadlineExpiredError,
     LockedFileError,
     NetworkUnavailableError,
@@ -87,6 +88,7 @@ _FAULT_TYPES: dict[str, type] = {
     "DeadlineExpiredError": DeadlineExpiredError,
     "OverloadSheddedError": OverloadSheddedError,
     "LockedFileError": LockedFileError,
+    "ControlError": ControlError,
 }
 
 #: span name prefix for wire RPCs (mirrors
@@ -477,7 +479,8 @@ class RpcChannel:
             )
             fault: Optional[BaseException] = None
         except (RpcError, RevokedError, AuthorizationError,
-                ServiceUnavailableError, LockedFileError) as exc:
+                ServiceUnavailableError, LockedFileError,
+                ControlError) as exc:
             result = {
                 "__fault__": type(exc).__name__,
                 "message": str(exc),
@@ -623,7 +626,8 @@ class RpcChannel:
                     deadline=deadline,
                 )
             except (RpcError, RevokedError, AuthorizationError,
-                    ServiceUnavailableError, LockedFileError) as exc:
+                    ServiceUnavailableError, LockedFileError,
+                    ControlError) as exc:
                 result = {
                     "__fault__": type(exc).__name__,
                     "message": str(exc),

@@ -18,7 +18,7 @@ from repro.errors import FileNotFound, InvalidArgument
 from repro.net.link import Link
 from repro.net.rpc import RpcChannel
 from repro.sim import Simulation
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 from repro.storage.localfs import Attr
 from repro.util.paths import basename, normalize, parent_of, split
 from repro.nfs.server import NfsServer

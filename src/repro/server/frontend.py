@@ -81,6 +81,7 @@ class FrontendMetrics:
     failed: int = 0
     shed_queue_full: int = 0
     shed_deadline: int = 0
+    shed_draining: int = 0
     groups: int = 0
     grouped_requests: int = 0
     max_backlog: int = 0
@@ -88,7 +89,7 @@ class FrontendMetrics:
 
     @property
     def shed(self) -> int:
-        return self.shed_queue_full + self.shed_deadline
+        return self.shed_queue_full + self.shed_deadline + self.shed_draining
 
     def as_dict(self) -> dict:
         return {
@@ -98,6 +99,7 @@ class FrontendMetrics:
             "shed": self.shed,
             "shed_queue_full": self.shed_queue_full,
             "shed_deadline": self.shed_deadline,
+            "shed_draining": self.shed_draining,
             "groups": self.groups,
             "grouped_requests": self.grouped_requests,
             "max_backlog": self.max_backlog,
@@ -170,6 +172,19 @@ class ServiceFrontend:
         self._queued_cost = 0
         self._est = max(1e-9, float(service_estimate))
         self.metrics = FrontendMetrics()
+        # Runtime drain flag (control channel): while set, every
+        # would-be admission is shed before touching the queue, and
+        # already-admitted work drains through the workers normally.
+        self.draining = False
+
+    # -- runtime drain (docs/CONTROL.md) ------------------------------------
+    def drain(self) -> None:
+        """Stop admitting; let queued/running requests finish."""
+        self.draining = True
+
+    def admit(self) -> None:
+        """Re-open admission after a drain."""
+        self.draining = False
 
     @property
     def policy(self) -> str:
@@ -206,6 +221,12 @@ class ServiceFrontend:
         in a worker process, so a caller abandoning the wait (client
         deadline race) never cancels server-side work already admitted.
         """
+        if self.draining:
+            self.metrics.shed_draining += 1
+            raise OverloadSheddedError(
+                f"{self.server.name}: draining (admission closed by the "
+                "control channel)"
+            )
         if self._sched.queue_len(device_id) >= self.queue_limit:
             self.metrics.shed_queue_full += 1
             raise OverloadSheddedError(

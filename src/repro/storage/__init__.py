@@ -1,8 +1,16 @@
-"""Storage substrate: block device, buffer cache, local FS, VFS."""
+"""Storage substrate: block device, buffer cache, local FS, VFS, and
+the pluggable backend registry (ext3 / memory / cas)."""
 
+from repro.storage.backend import (
+    BACKENDS,
+    FsInterface,
+    StorageBackend,
+    StorageStack,
+    make_backend,
+    volume_is_empty,
+)
 from repro.storage.blockdev import BlockDevice
 from repro.storage.buffercache import BufferCache
-from repro.storage.fsiface import FsInterface
 from repro.storage.localfs import ROOT_INO, Attr, LocalFileSystem
 from repro.storage.vfs import FileHandle, Vfs
 
@@ -13,6 +21,11 @@ __all__ = [
     "Attr",
     "ROOT_INO",
     "FsInterface",
+    "StorageBackend",
+    "StorageStack",
+    "BACKENDS",
+    "make_backend",
+    "volume_is_empty",
     "FileHandle",
     "Vfs",
 ]

@@ -1,0 +1,206 @@
+"""Pluggable lower-storage backends (and the FS interface they share).
+
+Two things live here:
+
+* :class:`FsInterface` — the FS contract every layer speaks (local FS,
+  EncFS, Keypad, NFS client).  Stacked file systems wrap a lower
+  instance and transform paths/content on the way through — the
+  FUSE-style architecture of the paper's prototype.  All methods are
+  sim-process generators, invoked as ``yield from fs.op(...)``.
+  (Historically this class lived in ``repro.storage.fsiface``, which
+  remains as a deprecation shim.)
+
+* :class:`StorageBackend` — the factory contract for the *bottom* of a
+  rig's stack, selected by ``KeypadConfig.storage_backend`` (builder
+  step ``.storage(...)``) and hot-swappable for empty volumes through
+  the control channel (docs/CONTROL.md).  Three implementations ship:
+
+  ==========  ============================================================
+  ``ext3``    the paper's BlockDevice → BufferCache → LocalFileSystem
+              stack, byte for byte (the default; flags-off runs are
+              unchanged)
+  ``memory``  a zero-I/O-cost ideal store — isolates Keypad's crypto +
+              network overhead from disk time
+  ``cas``     a content-addressed, deduplicating chunk store (the
+              ArchiveSafe-style layered-storage arm)
+  ==========  ============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.costmodel import DEFAULT_COSTS, CostModel
+from repro.errors import ConfigError
+from repro.sim import Simulation
+
+__all__ = [
+    "FsInterface",
+    "StorageBackend",
+    "StorageStack",
+    "Ext3Backend",
+    "MemoryBackend",
+    "CasBackend",
+    "BACKENDS",
+    "make_backend",
+    "volume_is_empty",
+]
+
+
+class FsInterface:
+    """Abstract FS operations; all methods are sim-process generators."""
+
+    def exists(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def getattr(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def create(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def mkdir(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def read(self, path: str, offset: int, size: int) -> Generator:
+        raise NotImplementedError
+
+    def write(self, path: str, offset: int, data: bytes) -> Generator:
+        raise NotImplementedError
+
+    def truncate(self, path: str, size: int) -> Generator:
+        raise NotImplementedError
+
+    def readdir(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def unlink(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def rmdir(self, path: str) -> Generator:
+        raise NotImplementedError
+
+    def rename(self, old: str, new: str) -> Generator:
+        raise NotImplementedError
+
+    def set_xattr(self, path: str, name: str, value: bytes) -> Generator:
+        raise NotImplementedError
+
+    def get_xattr(self, path: str, name: str) -> Generator:
+        raise NotImplementedError
+
+    # Convenience wrappers shared by all layers -----------------------------
+    def read_all(self, path: str) -> Generator:
+        attr = yield from self.getattr(path)
+        data = yield from self.read(path, 0, attr.size)
+        return data
+
+    def write_file(self, path: str, data: bytes) -> Generator:
+        """Create-or-replace a file's full content."""
+        exists = yield from self.exists(path)
+        if not exists:
+            yield from self.create(path)
+        else:
+            yield from self.truncate(path, 0)
+        yield from self.write(path, 0, data)
+        return None
+
+
+class StorageStack:
+    """What a backend builds: the bottom FS plus whatever sits under it.
+
+    ``device``/``cache`` are ``None`` for backends that have no block
+    layer (memory, cas); rig fields mirror that, and offline-attack
+    tooling that inspects raw blocks requires the ext3 backend.
+    """
+
+    def __init__(self, backend: str, fs: FsInterface,
+                 device: Optional[object] = None,
+                 cache: Optional[object] = None):
+        self.backend = backend
+        self.fs = fs
+        self.device = device
+        self.cache = cache
+
+
+class StorageBackend:
+    """Factory for the bottom of the stack.  Stateless; one shared
+    instance per name lives in :data:`BACKENDS`."""
+
+    #: registry key and the value ``KeypadConfig.storage_backend`` takes.
+    name: str = ""
+
+    def create(self, sim: Simulation, costs: CostModel = DEFAULT_COSTS,
+               n_blocks: int = 1 << 18) -> StorageStack:
+        raise NotImplementedError
+
+
+class Ext3Backend(StorageBackend):
+    """The paper's stack: BlockDevice → BufferCache → LocalFileSystem."""
+
+    name = "ext3"
+
+    def create(self, sim: Simulation, costs: CostModel = DEFAULT_COSTS,
+               n_blocks: int = 1 << 18) -> StorageStack:
+        # Imported lazily: localfs itself imports FsInterface from this
+        # module, so a top-level import would be circular.
+        from repro.storage.blockdev import BlockDevice
+        from repro.storage.buffercache import BufferCache
+        from repro.storage.localfs import LocalFileSystem
+
+        device = BlockDevice(sim, n_blocks=n_blocks, costs=costs)
+        cache = BufferCache(sim, device, capacity_blocks=n_blocks)
+        lower = LocalFileSystem(sim, cache, costs=costs)
+        return StorageStack(self.name, lower, device=device, cache=cache)
+
+
+class MemoryBackend(StorageBackend):
+    """An ideal store: correct POSIX-ish semantics, zero I/O cost."""
+
+    name = "memory"
+
+    def create(self, sim: Simulation, costs: CostModel = DEFAULT_COSTS,
+               n_blocks: int = 1 << 18) -> StorageStack:
+        from repro.storage.memfs import MemoryFileSystem
+
+        return StorageStack(self.name, MemoryFileSystem(sim, costs=costs))
+
+
+class CasBackend(StorageBackend):
+    """Content-addressed chunk store with cross-file deduplication."""
+
+    name = "cas"
+
+    def create(self, sim: Simulation, costs: CostModel = DEFAULT_COSTS,
+               n_blocks: int = 1 << 18) -> StorageStack:
+        from repro.storage.casfs import ContentAddressedFileSystem
+
+        return StorageStack(
+            self.name, ContentAddressedFileSystem(sim, costs=costs)
+        )
+
+
+BACKENDS: dict[str, StorageBackend] = {
+    b.name: b for b in (Ext3Backend(), MemoryBackend(), CasBackend())
+}
+
+
+def make_backend(name: str) -> StorageBackend:
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown storage backend {name!r}; "
+            f"choose one of {sorted(BACKENDS)}"
+        ) from None
+
+
+def volume_is_empty(fs: FsInterface) -> Generator:
+    """True iff the volume root holds no entries (sim-process generator).
+
+    The control channel's ``swap_backend`` precondition: a backend swap
+    does not migrate data, so it is only legal before anything was
+    written.
+    """
+    entries = yield from fs.readdir("/")
+    return not entries

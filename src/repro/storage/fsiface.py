@@ -1,75 +1,40 @@
-"""The FS interface shared by every layer.
+"""Deprecation shim: :class:`FsInterface` moved to
+:mod:`repro.storage.backend`.
 
-Layers (local FS, EncFS, Keypad, NFS client) all speak
-:class:`FsInterface`.  Stacked file systems wrap a lower instance and
-transform paths/content on the way through — the FUSE-style
-architecture of the paper's prototype.  All methods are sim-process
-generators, invoked as ``yield from fs.op(...)``.
+The interface now lives beside the pluggable-backend machinery it
+anchors (StorageBackend, BACKENDS — see docs/CONTROL.md).  Every
+historical import keeps working, lazily, with a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+import importlib
+import warnings
+
+_EXPORTS = {
+    "FsInterface": "repro.storage.backend",
+}
 
 __all__ = ["FsInterface"]
 
 
-class FsInterface:
-    """Abstract FS operations; all methods are sim-process generators."""
-
-    def exists(self, path: str) -> Generator:
-        raise NotImplementedError
-
-    def getattr(self, path: str) -> Generator:
-        raise NotImplementedError
-
-    def create(self, path: str) -> Generator:
-        raise NotImplementedError
-
-    def mkdir(self, path: str) -> Generator:
-        raise NotImplementedError
-
-    def read(self, path: str, offset: int, size: int) -> Generator:
-        raise NotImplementedError
-
-    def write(self, path: str, offset: int, data: bytes) -> Generator:
-        raise NotImplementedError
-
-    def truncate(self, path: str, size: int) -> Generator:
-        raise NotImplementedError
-
-    def readdir(self, path: str) -> Generator:
-        raise NotImplementedError
-
-    def unlink(self, path: str) -> Generator:
-        raise NotImplementedError
-
-    def rmdir(self, path: str) -> Generator:
-        raise NotImplementedError
-
-    def rename(self, old: str, new: str) -> Generator:
-        raise NotImplementedError
-
-    def set_xattr(self, path: str, name: str, value: bytes) -> Generator:
-        raise NotImplementedError
-
-    def get_xattr(self, path: str, name: str) -> Generator:
-        raise NotImplementedError
-
-    # Convenience wrappers shared by all layers -----------------------------
-    def read_all(self, path: str) -> Generator:
-        attr = yield from self.getattr(path)
-        data = yield from self.read(path, 0, attr.size)
-        return data
-
-    def write_file(self, path: str, data: bytes) -> Generator:
-        """Create-or-replace a file's full content."""
-        exists = yield from self.exists(path)
-        if not exists:
-            yield from self.create(path)
-        else:
-            yield from self.truncate(path, 0)
-        yield from self.write(path, 0, data)
-        return None
+def __getattr__(name: str):
+    home = _EXPORTS.get(name)
+    if home is None:
+        raise AttributeError(
+            f"module 'repro.storage.fsiface' has no attribute {name!r}"
+        )
+    warnings.warn(
+        f"importing {name!r} from 'repro.storage.fsiface' is deprecated; "
+        f"import it from '{home}' (or 'repro.api' for the stable facade)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Deliberately not cached in globals(): each use warns, so stale
+    # imports stay visible instead of going quiet after the first hit.
+    return getattr(importlib.import_module(home), name)
 
 
+def __dir__() -> list[str]:
+    return sorted(set(list(globals()) + __all__))

@@ -29,7 +29,7 @@ from repro.errors import (
 )
 from repro.sim import Lock, Simulation
 from repro.storage.buffercache import BufferCache
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 from repro.util.paths import basename, is_ancestor, normalize, parent_of, split
 
 __all__ = ["LocalFileSystem", "Attr", "ROOT_INO"]

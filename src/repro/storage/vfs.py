@@ -6,7 +6,7 @@ from typing import Generator
 
 from repro.errors import InvalidArgument, IsADirectory
 from repro.sim import Simulation
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 
 __all__ = ["FileHandle", "Vfs"]
 

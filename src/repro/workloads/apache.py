@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from repro.sim import SimRandom
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 from repro.workloads.fsops import (
     CHUNK,
     OpCounter,

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 from repro.workloads.fsops import (
     OpCounter,
     TreeSpec,

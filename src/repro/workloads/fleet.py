@@ -42,9 +42,11 @@ from repro.crypto.drbg import HmacDrbg
 from repro.crypto.secretshare import split_secret
 from repro.crypto.sha256 import sha256_fast
 from repro.errors import (
+    ControlError,
     DeadlineExpiredError,
     KeypadError,
     OverloadSheddedError,
+    RevokedError,
 )
 from repro.net.netem import LAN, NetEnv
 from repro.net.rpc import RpcChannel
@@ -56,11 +58,29 @@ __all__ = [
     "COMPILE",
     "FILESCAN",
     "profile_for_index",
+    "ControlEvent",
     "DeviceStats",
     "FleetDevice",
     "FleetResult",
     "run_fleet",
 ]
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """One scripted admin action during a fleet run.
+
+    ``verb`` is a control-channel verb without its ``ctl.`` prefix
+    (``set_texp``, ``revoke``, ``drain``, ``admit``, ``update``, ...);
+    ``params`` are its wire parameters (see docs/CONTROL.md).  Events
+    fire at absolute sim time ``at`` over a real admin
+    :class:`~repro.net.rpc.RpcChannel`, so reconfiguration contends
+    with (and is costed like) the data-plane traffic it steers.
+    """
+
+    at: float
+    verb: str
+    params: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -116,6 +136,9 @@ class DeviceStats:
     shed: int = 0
     expired: int = 0
     failed: int = 0
+    #: attempts refused because the device was revoked mid-run (the
+    #: control channel's kill switch doing its job, not a failure).
+    revoked: int = 0
     keys_requested: int = 0
     keys_served: int = 0
     latencies: list[float] = field(default_factory=list)
@@ -222,6 +245,8 @@ class FleetDevice:
                 self.stats.shed += 1
             except DeadlineExpiredError:
                 self.stats.expired += 1
+            except RevokedError:
+                self.stats.revoked += 1
             except KeypadError:
                 self.stats.failed += 1
             else:
@@ -240,6 +265,8 @@ class FleetResult:
     policy: str
     stats: list[DeviceStats]
     frontend_metrics: list[dict]
+    #: scripted-admin outcomes, one entry per ControlEvent fired.
+    control_log: list = field(default_factory=list)
 
     # -- aggregates -----------------------------------------------------------
     def _latencies(self) -> list[float]:
@@ -294,6 +321,7 @@ class FleetResult:
                 "shed": sum(s.shed for s in members),
                 "expired": sum(s.expired for s in members),
                 "failed": sum(s.failed for s in members),
+                "revoked": sum(s.revoked for s in members),
                 "keys_served": served,
                 "mean_goodput_keys_per_s": (
                     served / self.duration / len(members)
@@ -310,6 +338,7 @@ class FleetResult:
         shed = sum(s.shed for s in self.stats)
         expired = sum(s.expired for s in self.stats)
         failed = sum(s.failed for s in self.stats)
+        revoked = sum(s.revoked for s in self.stats)
         served = sum(s.keys_served for s in self.stats)
         latencies = self._latencies()
         return {
@@ -321,6 +350,7 @@ class FleetResult:
             "shed": shed,
             "expired": expired,
             "failed": failed,
+            "revoked": revoked,
             "shed_rate": shed / requested if requested else 0.0,
             "keys_served": served,
             "throughput_keys_per_s": (
@@ -331,6 +361,7 @@ class FleetResult:
             "fairness_nonscanner": self.fairness_ratio(),
             "per_profile": self.per_profile(),
             "frontend": self.frontend_metrics,
+            "control": list(self.control_log),
         }
 
 
@@ -358,6 +389,7 @@ def run_fleet(
     replicas: int = 1,
     threshold: int = 1,
     shards: int = 1,
+    control: Optional[list] = None,
 ) -> FleetResult:
     """Provision and drive a fleet; returns the measured result.
 
@@ -373,6 +405,13 @@ def run_fleet(
 
     Devices are pre-provisioned out of band (``preload_key``): the
     benchmark measures the steady-state fetch path, not enrolment.
+
+    ``control`` is an optional list of :class:`ControlEvent` — scripted
+    mid-run admin actions (Texp policy change, device revocation,
+    frontend drain, ...) issued through a live control channel while
+    the fleet hammers the same service.  Outcomes land in
+    ``FleetResult.control_log``; ``None``/empty keeps the run identical
+    to the pre-control fleet.
     """
     from repro.harness.runner import derive_arm_seed
 
@@ -441,6 +480,47 @@ def run_fleet(
         sim.process(device.run(duration), name=device.device_id)
         for device in fleet
     ]
+
+    control_log: list[dict] = []
+    events = sorted(control or (), key=lambda e: (e.at, e.verb))
+    if events:
+        from repro.control.server import ControlServer
+        from repro.core.policy import KeypadConfig, PolicyEpoch
+
+        # The fleet has no mounted FS; the policy epoch is the
+        # service-side source of truth the events reconfigure.
+        epoch = PolicyEpoch(KeypadConfig())
+        ctl = ControlServer(
+            sim, epoch,
+            key_services=() if service is None else (service,),
+            replica_group=group,
+            frontends=tuple(frontends),
+            name="fleet-ctl",
+            costs=costs,
+        )
+        admin_secret = derive_arm_seed(seed, "ctl-admin")
+        ctl.enroll_admin("fleet-admin", admin_secret)
+        ctl_link = net.make_link(sim, label="fleet-ctl")
+        channel = RpcChannel(sim, ctl_link, ctl.rpc, "fleet-admin",
+                             admin_secret, costs=costs)
+
+        def _admin() -> Generator:
+            for event in events:
+                if event.at > sim.now:
+                    yield sim.timeout(event.at - sim.now)
+                entry = {"at": sim.now, "verb": event.verb}
+                try:
+                    result = yield from channel.call(
+                        "ctl." + event.verb, **event.params
+                    )
+                except (ControlError, KeypadError) as exc:
+                    entry["error"] = f"{type(exc).__name__}: {exc}"
+                else:
+                    entry["result"] = result
+                control_log.append(entry)
+
+        procs.append(sim.process(_admin(), name="fleet-admin"))
+
     sim.run_until(sim.all_of(procs))
 
     policy = frontends[0].policy if frontends else "unbounded"
@@ -450,4 +530,5 @@ def run_fleet(
         policy=policy,
         stats=[device.stats for device in fleet],
         frontend_metrics=[f.metrics.as_dict() for f in frontends],
+        control_log=control_log,
     )

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.sim import SimRandom
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 
 __all__ = ["OpCounter", "TreeSpec", "build_tree", "read_file_chunked",
            "write_file_chunked", "CHUNK"]

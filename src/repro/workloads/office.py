@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
 from repro.sim import SimRandom, Simulation
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 from repro.workloads.fsops import (
     OpCounter,
     TreeSpec,

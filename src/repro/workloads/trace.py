@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Generator
 
 from repro.sim import SimRandom, Simulation
-from repro.storage.fsiface import FsInterface
+from repro.storage.backend import FsInterface
 from repro.workloads.fsops import (
     OpCounter,
     TreeSpec,

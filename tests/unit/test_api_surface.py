@@ -16,6 +16,8 @@ from repro.cli import exit_code_for
 from repro.core.policy import KeypadConfig
 from repro.errors import (
     AuthorizationError,
+    ConfigError,
+    ControlError,
     DeadlineExpiredError,
     KeypadError,
     NetworkUnavailableError,
@@ -43,6 +45,11 @@ API_SURFACE = sorted([
     "AuditTool", "AuditReport",
     # fleet scale
     "run_fleet", "FleetResult", "DeviceProfile", "ServiceFrontend",
+    "ControlEvent",
+    # runtime control plane
+    "open_control", "ControlServer", "ControlClient", "PolicyEpoch",
+    # pluggable storage backends
+    "StorageBackend", "StorageStack", "BACKENDS", "make_backend",
     # networks
     "NetEnv", "Link", "LAN", "WLAN", "BROADBAND", "DSL", "THREE_G",
     "BLUETOOTH", "ALL_NETWORKS", "PAPER_SWEEP_RTTS",
@@ -50,7 +57,8 @@ API_SURFACE = sorted([
     "ReproError", "FileSystemError", "KeypadError",
     "NetworkUnavailableError", "RpcError", "ServiceUnavailableError",
     "DeadlineExpiredError", "OverloadSheddedError", "RevokedError",
-    "AuthorizationError", "LockedFileError",
+    "AuthorizationError", "LockedFileError", "ConfigError",
+    "ControlError",
 ])
 
 
@@ -104,11 +112,24 @@ class TestDeprecationShims:
         with pytest.raises(AttributeError):
             core.NoSuchThing  # noqa: B018
 
+    def test_storage_fsiface_warns_but_resolves(self):
+        import repro.storage.fsiface as fsiface
+
+        with pytest.warns(DeprecationWarning, match="repro.storage.backend"):
+            moved = fsiface.FsInterface
+        from repro.storage.backend import FsInterface as direct
+
+        assert moved is direct
+        with pytest.raises(AttributeError):
+            fsiface.NoSuchThing  # noqa: B018
+
     def test_submodule_imports_stay_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             import repro.core.fs  # noqa: F401
             import repro.net.rpc  # noqa: F401
+            import repro.storage.backend  # noqa: F401
+            import repro.control  # noqa: F401
 
 
 class TestConfigBuilder:
@@ -156,12 +177,50 @@ class TestConfigBuilder:
         with pytest.raises(ValueError):
             KeypadConfig.builder().replication(k=4, m=3)
 
+    def test_build_rejects_contradictions_in_any_order(self):
+        # The same contradictory bundle must fail regardless of the
+        # order the steps were chained in — build() validates the whole
+        # config once, with one uniform error type.
+        with pytest.raises(ConfigError):
+            KeypadConfig.builder().texp(-1.0).build()
+        with pytest.raises(ConfigError):
+            # texp_inflight (default 1.0) must never exceed texp.
+            KeypadConfig.builder().texp(0.5).build()
+        with pytest.raises(ConfigError):
+            # a contradictory base is caught at build, not at mount
+            base = KeypadConfig(replicas=1, replica_threshold=2)
+            KeypadConfig.builder(base).build()
+        with pytest.raises(ConfigError):
+            KeypadConfig.builder().storage("floppy").build()
+
+    def test_texp_zero_is_the_no_caching_arm(self):
+        # texp=0 is the paper's "unoptimized" configuration, not an
+        # error; only negatives are contradictions.
+        assert KeypadConfig.builder().texp(0.0).build().texp == 0.0
+
+    def test_bundle_steps_reject_runtime_verbs(self):
+        # Control-channel verbs are not config knobs; naming one in a
+        # builder step must fail at the step, with a pointer to the
+        # control channel, not silently ride into the mount.
+        with pytest.raises(ConfigError, match="control"):
+            KeypadConfig.builder().replication(k=2, m=3, drain=True)
+
+    def test_mount_freezes_runtime_only_knobs(self):
+        from repro.core.policy import PolicyEpoch
+
+        epoch = PolicyEpoch(KeypadConfig())
+        with pytest.raises(ConfigError, match="mount-frozen"):
+            epoch.update(replicas=3)
+        epoch.update(texp=7.0)
+        assert epoch.config.texp == 7.0 and epoch.epoch == 1
+
     def test_flags_off_defaults_unchanged(self):
         config = KeypadConfig()
         assert not config.frontend_enabled
         assert not config.pipelining
         assert config.replicas == 1
         assert not config.tracing
+        assert config.storage_backend == "ext3"
 
 
 class TestExitCodes:
@@ -171,8 +230,15 @@ class TestExitCodes:
             exit_code_for(DeadlineExpiredError("x")),
             exit_code_for(ServiceUnavailableError("x")),
             exit_code_for(KeypadError("x")),
+            exit_code_for(ControlError("x")),
         }
-        assert len(codes) == 4
+        assert len(codes) == 5
+
+    def test_control_error_maps_to_six(self):
+        assert exit_code_for(ControlError("x")) == 6
+        # ConfigError is a config-time error, not a control-channel
+        # fault: it keeps the generic code.
+        assert exit_code_for(ConfigError("x")) == 1
 
     def test_shed_beats_unavailable(self):
         # OverloadSheddedError IS-A ServiceUnavailableError (existing
