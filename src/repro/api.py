@@ -18,6 +18,10 @@ The groups:
   :meth:`KeypadConfig.builder` for chainable feature bundles.
 * **Forensics** — :class:`AuditTool` over a key service's log,
   :class:`ClusterAuditLog` over a replica group's.
+* **Audit store** — :class:`SegmentedAuditStore` (the event-sourced,
+  seal-chained log engine) and :class:`AuditViews` (its materialized
+  forensic views); :class:`AppendOnlyLog` / :class:`ShardedLog` are the
+  flat primitives (see docs/AUDITSTORE.md).
 * **Fleet scale** — :func:`run_fleet` drives thousands of simulated
   devices against one service; :class:`ServiceFrontend` is the
   server-side scheduler it exercises; :class:`ControlEvent` scripts
@@ -35,6 +39,14 @@ keep working but emit :class:`DeprecationWarning`.
 
 from __future__ import annotations
 
+from repro.auditstore import (
+    AppendOnlyLog,
+    AuditSegment,
+    AuditViews,
+    LogEntry,
+    SegmentedAuditStore,
+    ShardedLog,
+)
 from repro.control import ControlClient, ControlServer, open_control
 from repro.core.policy import (
     KeypadConfig,
@@ -147,6 +159,13 @@ __all__ = [
     # forensics
     "AuditTool",
     "AuditReport",
+    # audit store (event-sourced log + materialized views)
+    "AppendOnlyLog",
+    "ShardedLog",
+    "LogEntry",
+    "SegmentedAuditStore",
+    "AuditSegment",
+    "AuditViews",
     # fleet scale
     "run_fleet",
     "FleetResult",

@@ -1,0 +1,70 @@
+"""Event-sourced audit store with materialized forensic views.
+
+The write side (:mod:`repro.auditstore.store`) organises the paper's
+durable audit log into group-committed, hash-chained, compactable
+segments; the read side (:mod:`repro.auditstore.views`) keeps CQRS
+projections — per-device timeline, per-file access set, post-theft
+window index — incrementally current so forensic queries answer in
+O(view) instead of O(log).  :mod:`repro.auditstore.log` holds the flat
+log primitives the rest of the tree shares (moved here from
+``repro.core.services.logstore``, which remains as a shim).
+
+Select the segmented store with
+``KeypadConfig.builder().audit_store("segmented")``; the default is
+the paper-faithful flat log.
+"""
+
+from .log import (
+    DISCLOSING_KINDS,
+    GENESIS_HASH,
+    AppendOnlyLog,
+    LogEntry,
+    ShardedLog,
+    entry_digest,
+)
+from .store import AuditSegment, SegmentedAuditStore
+from .views import AuditViews
+
+__all__ = [
+    "AppendOnlyLog",
+    "AuditSegment",
+    "AuditViews",
+    "DISCLOSING_KINDS",
+    "GENESIS_HASH",
+    "LogEntry",
+    "SegmentedAuditStore",
+    "ShardedLog",
+    "entry_digest",
+]
+
+
+def make_audit_log(
+    name: str,
+    store: str = "flat",
+    shards: int = 1,
+    router=None,
+    segment_entries: int = 1024,
+    auto_compact: bool = True,
+):
+    """Build the audit log a service should write to.
+
+    ``store="flat"`` reproduces the paper's log exactly: one
+    ``AppendOnlyLog`` (or a ``ShardedLog`` when ``shards > 1``).
+    ``store="segmented"`` returns a ``SegmentedAuditStore`` — one
+    global store regardless of ``shards``, since group-committed
+    segments subsume the per-shard chain trick without changing any
+    simulated-time behavior.
+    """
+    if store == "segmented":
+        return SegmentedAuditStore(
+            name=name,
+            segment_entries=segment_entries,
+            auto_compact=auto_compact,
+        )
+    if store != "flat":
+        raise ValueError(f"unknown audit store {store!r}")
+    if shards > 1:
+        if router is None:
+            raise ValueError("a sharded flat log needs a router")
+        return ShardedLog(name=name, shards=shards, router=router)
+    return AppendOnlyLog(name=name)

@@ -12,6 +12,10 @@ Subcommands:
 * ``keypad-audit demo [--steal]``
   Run a small end-to-end simulation, export its logs, and report —
   a self-contained smoke test of the whole pipeline.
+* ``keypad-audit forensics [--bundle LOGS.json] --view timeline|file-set|post-theft``
+  Answer forensic queries from the materialized views
+  (:mod:`repro.auditstore`), always reconciling each answer against
+  the raw-log scan; exits 2 if any view disagrees with the log.
 * ``keypad-audit cluster-demo [--replicas M --threshold K --crash I]``
   Run the same demo against a k-of-m replicated key-service cluster
   (optionally crashing a replica mid-run), merge the per-replica audit
@@ -128,6 +132,137 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     tool = AuditTool(key_log, metadata)
     report = tool.report(t_loss=t_loss, texp=args.texp)
     print(report.render())
+    return 0
+
+
+def _forensics_demo_bundle(texp: float) -> tuple[str, float]:
+    """A small stolen-device world, exported: the standalone input for
+    ``forensics`` when no ``--bundle`` is given."""
+    from repro.api import THREE_G, KeypadConfig
+    from repro.harness import build_keypad_rig
+
+    rig = build_keypad_rig(
+        network=THREE_G,
+        config=KeypadConfig(texp=texp, prefetch="dir:3", ibe_enabled=True),
+    )
+
+    def owner():
+        yield from rig.fs.mkdir("/home")
+        for name in ("medical.txt", "taxes.pdf", "notes.md"):
+            yield from rig.fs.create(f"/home/{name}")
+            yield from rig.fs.write(f"/home/{name}", 0, b"confidential")
+        yield rig.sim.timeout(600.0)
+
+    rig.run(owner())
+    t_loss = rig.sim.now
+
+    def thief():
+        yield from rig.fs.read("/home/taxes.pdf", 0, 12)
+
+    rig.run(thief())
+    return export_logs(rig.key_service, rig.metadata_service), t_loss
+
+
+def _entry_keys(entries) -> list[tuple[int, bytes]]:
+    """The identity of an answer, for view-vs-scan reconciliation."""
+    return [(e.sequence, e.chain_hash) for e in entries]
+
+
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    """Answer forensic queries from the materialized views, then
+    reconcile every answer against the raw-log scan (exit 2 on any
+    disagreement — same contract as ``trace --check``)."""
+    from repro.auditstore.log import DISCLOSING_KINDS
+
+    if args.bundle is not None:
+        if args.tloss is None:
+            print("keypad-audit: forensics --bundle requires --tloss",
+                  file=sys.stderr)
+            return 1
+        with open(args.bundle, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        t_loss = args.tloss
+    else:
+        text, t_loss = _forensics_demo_bundle(args.texp)
+        if args.tloss is not None:
+            t_loss = args.tloss
+    key_log, metadata = load_bundle(text)
+    log = key_log.access_log
+    views = key_log.views
+    window_start = t_loss - args.texp
+
+    mismatches = 0
+
+    def reconcile(label: str, view_answer, scan_answer) -> None:
+        nonlocal mismatches
+        if _entry_keys(view_answer) != _entry_keys(scan_answer):
+            mismatches += 1
+            print(f"MISMATCH [{label}]: view answered "
+                  f"{len(view_answer)} entries, raw scan "
+                  f"{len(scan_answer)}", file=sys.stderr)
+
+    def describe(entry) -> str:
+        audit_id = entry.fields.get("audit_id")
+        path = metadata.path_of(audit_id) if audit_id else None
+        where = f" path={path}" if path else ""
+        return (f"[{entry.timestamp:10.3f}] {entry.device_id:<12} "
+                f"{entry.kind}{where}")
+
+    print(f"view={args.view} window_start={window_start:.3f} "
+          f"(tloss={t_loss:.3f} texp={args.texp})")
+
+    if args.view == "timeline":
+        devices = [args.device] if args.device else views.devices()
+        for device in devices:
+            view_answer = views.device_timeline(device, since=window_start)
+            reconcile(
+                f"timeline:{device}",
+                view_answer,
+                log.entries(since=window_start, device_id=device),
+            )
+            print(f"timeline {device}: {len(view_answer)} entries")
+            for entry in view_answer[:args.limit]:
+                print("  " + describe(entry))
+    elif args.view == "file-set":
+        if args.audit_id:
+            audit_ids = [bytes.fromhex(args.audit_id)]
+        else:
+            audit_ids = views.audit_ids()
+        for audit_id in audit_ids:
+            view_answer = views.file_accesses(audit_id, since=window_start)
+            scan_answer = [
+                e for e in log.entries(since=window_start)
+                if e.kind in DISCLOSING_KINDS
+                and e.fields.get("audit_id") == audit_id
+            ]
+            reconcile(f"file-set:{audit_id.hex()[:12]}",
+                      view_answer, scan_answer)
+            path = metadata.path_of(audit_id) or f"id {audit_id.hex()[:12]}…"
+            accessors = sorted({e.device_id for e in view_answer})
+            print(f"{path}: {len(view_answer)} accesses by "
+                  f"{', '.join(accessors) if accessors else 'nobody'}")
+    else:  # post-theft
+        view_answer = views.accesses_after(window_start,
+                                           device_id=args.device)
+        scan_answer = [
+            e for e in log.entries(since=window_start,
+                                   device_id=args.device)
+            if e.kind in DISCLOSING_KINDS
+        ]
+        reconcile("post-theft", view_answer, scan_answer)
+        print(f"post-theft window: {len(view_answer)} disclosing "
+              f"accesses")
+        for entry in view_answer[:args.limit]:
+            print("  " + describe(entry))
+
+    chain_ok = log.verify_chain()
+    print(f"log chain: {'intact' if chain_ok else 'BROKEN'}; "
+          f"view stats: {views.stats()}")
+    if mismatches or not chain_ok:
+        print(f"RECONCILIATION FAILED: {mismatches} view/scan "
+              f"mismatch(es), chain_ok={chain_ok}", file=sys.stderr)
+        return 2
+    print("reconciled: every view answer matches the raw-log scan")
     return 0
 
 
@@ -463,6 +598,34 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--export", default=None,
                       help="also write the log bundle to this path")
     demo.set_defaults(func=_cmd_demo)
+
+    forensics = sub.add_parser(
+        "forensics",
+        help="answer forensic queries from materialized views, "
+             "reconciled against the raw-log scan",
+    )
+    forensics.add_argument("--bundle", default=None,
+                           help="exported JSON log bundle (default: run "
+                                "a self-contained stolen-device demo)")
+    forensics.add_argument("--view",
+                           choices=("timeline", "file-set", "post-theft"),
+                           default="post-theft",
+                           help="which materialized view answers "
+                                "(default post-theft)")
+    forensics.add_argument("--tloss", type=float, default=None,
+                           help="Tloss (required with --bundle; the demo "
+                                "provides its own)")
+    forensics.add_argument("--texp", type=float, default=100.0,
+                           help="key expiration time Texp (default 100s)")
+    forensics.add_argument("--device", default=None,
+                           help="restrict to one device id")
+    forensics.add_argument("--audit-id", default=None,
+                           help="hex audit ID for --view file-set "
+                                "(default: every known file)")
+    forensics.add_argument("--limit", type=int, default=20,
+                           help="max entries printed per answer "
+                                "(default 20)")
+    forensics.set_defaults(func=_cmd_forensics)
 
     cluster = sub.add_parser(
         "cluster-demo",

@@ -33,11 +33,12 @@ cluster unchanged.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
 from repro.core.services.keyservice import DISCLOSING_KINDS, KeyService
-from repro.core.services.logstore import LogEntry
+from repro.auditstore.log import LogEntry
 from repro.cluster.replica import ReplicaGroup
 
 __all__ = ["MergedAccess", "Divergence", "ClusterAuditLog"]
@@ -98,23 +99,73 @@ class ClusterAuditLog:
             raise ValueError("threshold must be within the replica count")
         self.threshold = threshold
         self.window = window
+        # Incremental-merge state: per-replica high-water marks over the
+        # log's global append positions, plus a cache of every
+        # disclosing entry seen so far, kept sorted by
+        # ``(timestamp, replica_idx, sequence)``.  Repeated merges
+        # (fleet runs, tail_trace) are O(new entries), not O(log).
+        self._consumed: list[int] = [0] * len(self.replicas)
+        self._cache: list[tuple[float, int, int, LogEntry]] = []
+        self.resorts = 0      # out-of-order batches forcing a re-sort
+        self.rebuilds = 0     # log shrank (tamper/truncation) → full replay
+        #: (cache version, result) memo for the unfiltered timeline.
+        self._merged_memo: Optional[tuple[tuple, list[MergedAccess]]] = None
 
     # -- merging -------------------------------------------------------------
+    def _refresh(self) -> None:
+        """Pull each replica's log tail past our high-water mark."""
+        fresh: list[tuple[float, int, int, LogEntry]] = []
+        for index, replica in enumerate(self.replicas):
+            log = replica.access_log
+            if len(log) < self._consumed[index]:
+                # A log can only grow; shrinking means tampering or a
+                # swapped store.  Drop everything and replay.
+                self._consumed = [0] * len(self.replicas)
+                self._cache.clear()
+                self.rebuilds += 1
+                self._refresh()
+                return
+            for entry in log.tail(self._consumed[index]):
+                if entry.kind in DISCLOSING_KINDS:
+                    fresh.append(
+                        (entry.timestamp, index, entry.sequence, entry)
+                    )
+            self._consumed[index] = len(log)
+        if not fresh:
+            return
+        fresh.sort(key=lambda item: item[:3])
+        if self._cache and fresh[0][:3] < self._cache[-1][:3]:
+            # Stragglers (phone-side report batches, replica repair)
+            # landed behind the cache tail; merge by full re-sort.
+            self._cache.extend(fresh)
+            self._cache.sort(key=lambda item: item[:3])
+            self.resorts += 1
+        else:
+            self._cache.extend(fresh)
+
     def _tagged_entries(
         self, since: Optional[float] = None, device_id: Optional[str] = None
     ) -> list[tuple[int, LogEntry]]:
         """Disclosing entries from every replica, globally time-sorted."""
-        tagged = [
+        self._refresh()
+        items = self._cache
+        if since is not None:
+            start = bisect_left(items, since, key=lambda item: item[0])
+            items = items[start:]
+        return [
             (index, entry)
-            for index, replica in enumerate(self.replicas)
-            for entry in replica.accesses_after(
-                since if since is not None else float("-inf"),
-                device_id=device_id,
-            )
+            for _, index, _, entry in items
+            if device_id is None or entry.device_id == device_id
         ]
-        tagged.sort(key=lambda pair: (pair[1].timestamp, pair[0],
-                                      pair[1].sequence))
-        return tagged
+
+    def merge_stats(self) -> dict:
+        """Incremental-merge bookkeeping (``ctl.audit_stats``, tests)."""
+        return {
+            "consumed": list(self._consumed),
+            "cached": len(self._cache),
+            "resorts": self.resorts,
+            "rebuilds": self.rebuilds,
+        }
 
     def merged(
         self, since: Optional[float] = None, device_id: Optional[str] = None
@@ -126,6 +177,14 @@ class ClusterAuditLog:
         one access; records further apart are separate accesses (e.g.
         re-fetches in a later expiration window).
         """
+        unfiltered = since is None and device_id is None
+        if unfiltered:
+            self._refresh()
+            version = (len(self._cache), self.resorts, self.rebuilds)
+            if self._merged_memo is not None and (
+                self._merged_memo[0] == version
+            ):
+                return self._merged_memo[1]
         open_groups: dict[tuple, list[tuple[int, LogEntry]]] = {}
         accesses: list[MergedAccess] = []
 
@@ -156,6 +215,8 @@ class ClusterAuditLog:
         for key, members in open_groups.items():
             close(key, members)
         accesses.sort(key=lambda a: (a.timestamp, a.audit_id, a.kind))
+        if unfiltered:
+            self._merged_memo = (version, accesses)
         return accesses
 
     # -- cross-checking ------------------------------------------------------

@@ -33,6 +33,9 @@ class ReplicaGroup:
         costs: CostModel = DEFAULT_COSTS,
         seed: bytes = b"replica-group",
         shards: int = 1,
+        audit_store: str = "flat",
+        segment_entries: int = 1024,
+        auto_compact: bool = True,
     ):
         if not 1 <= k <= m:
             raise ValueError(f"need 1 <= k <= m, got k={k} m={m}")
@@ -46,6 +49,9 @@ class ReplicaGroup:
                 seed=seed + b"|r%d" % i,
                 name=f"key-replica-{i}",
                 shards=shards,
+                audit_store=audit_store,
+                segment_entries=segment_entries,
+                auto_compact=auto_compact,
             )
             for i in range(m)
         ]

@@ -96,3 +96,22 @@ class ControlClient:
         result = yield from self.channel.call("ctl.swap_backend",
                                               backend=backend)
         return result
+
+    # -- audit store ---------------------------------------------------------
+    def audit_stats(self, index: Optional[int] = None) -> Generator:
+        """Segment/view statistics per key service (PROTOCOL.md §12)."""
+        params = {} if index is None else {"index": int(index)}
+        result = yield from self.channel.call("ctl.audit_stats", **params)
+        return result
+
+    def audit_seal(self, index: Optional[int] = None) -> Generator:
+        """Force-seal the active segment (segmented stores only)."""
+        params = {} if index is None else {"index": int(index)}
+        result = yield from self.channel.call("ctl.audit_seal", **params)
+        return result
+
+    def audit_rebuild(self, index: Optional[int] = None) -> Generator:
+        """Rebuild materialized views by replaying the log."""
+        params = {} if index is None else {"index": int(index)}
+        result = yield from self.channel.call("ctl.audit_rebuild", **params)
+        return result

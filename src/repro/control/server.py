@@ -103,6 +103,9 @@ class ControlServer:
             ("ctl.swap_backend", self._swap_backend),
             ("ctl.tail_trace", self._tail_trace),
             ("ctl.metrics", self._metrics),
+            ("ctl.audit_stats", self._audit_stats),
+            ("ctl.audit_seal", self._audit_seal),
+            ("ctl.audit_rebuild", self._audit_rebuild),
         ):
             self.rpc.register(verb, _verb(handler))
 
@@ -330,6 +333,69 @@ class ControlServer:
                 for c in ops
             ],
         }
+
+    def _audit_targets(self, payload: dict) -> list[tuple[int, Any]]:
+        """The key services an audit verb addresses: all, or one by
+        ``index``."""
+        if not self.key_services:
+            raise ControlError("no key service attached")
+        index = payload.get("index")
+        if index is None:
+            return list(enumerate(self.key_services))
+        index = int(index)
+        if not 0 <= index < len(self.key_services):
+            raise ControlError(
+                f"service index {index} out of range "
+                f"(have {len(self.key_services)})"
+            )
+        return [(index, self.key_services[index])]
+
+    def _audit_stats(self, device_id: str, payload: dict) -> dict:
+        """Per-service audit-store and view statistics (read-only)."""
+        services = []
+        for index, service in self._audit_targets(payload):
+            log = service.access_log
+            stats = getattr(log, "stats", None)
+            if stats is not None:
+                services.append({"index": index, **stats()})
+            else:
+                shards = getattr(log, "shards", None)
+                services.append({
+                    "index": index,
+                    "store": "flat",
+                    "name": log.name,
+                    "entries": len(log),
+                    "shards": len(shards) if isinstance(shards, list) else 1,
+                })
+        return {"at": self.sim.now, "services": services}
+
+    def _audit_seal(self, device_id: str, payload: dict) -> dict:
+        """Force-seal the active segment on segmented stores."""
+        sealed = []
+        for index, service in self._audit_targets(payload):
+            log = service.access_log
+            if not hasattr(log, "force_seal"):
+                raise ControlError(
+                    f"service {index} uses the flat audit store; "
+                    "force-seal needs audit_store('segmented')"
+                )
+            sealed.append({"index": index, "segment": log.force_seal()})
+        self._note("audit_seal", count=len(sealed))
+        return {"sealed": sealed}
+
+    def _audit_rebuild(self, device_id: str, payload: dict) -> dict:
+        """Rebuild materialized views from the log (recovery drill)."""
+        rebuilt = []
+        for index, service in self._audit_targets(payload):
+            views = getattr(service.access_log, "views", None)
+            if views is None:
+                raise ControlError(
+                    f"service {index} uses the flat audit store; "
+                    "views need audit_store('segmented')"
+                )
+            rebuilt.append({"index": index, "entries": views.rebuild()})
+        self._note("audit_rebuild", count=len(rebuilt))
+        return {"rebuilt": rebuilt}
 
     def _metrics(self, device_id: str, payload: dict) -> dict:
         """Live counters: channels, frontends, key cache, trace."""

@@ -172,6 +172,17 @@ class KeypadConfig:
     # the paper's BlockDevice -> BufferCache -> LocalFileSystem stack
     # byte for byte; 'memory' and 'cas' are opt-in alternatives.
     storage_backend: str = "ext3"
+    # --- audit store (see repro.auditstore / docs/AUDITSTORE.md).
+    # 'flat' keeps the paper's single AppendOnlyLog per replica;
+    # 'segmented' is the event-sourced store with seal-chained
+    # segments and materialized forensic views.  Mount-frozen: the
+    # store holds the durable audit trail, so it cannot be swapped
+    # under a live mount.
+    audit_store: str = "flat"
+    # Records per segment before the active segment is sealed.
+    audit_segment_entries: int = 1024
+    # Compact segments to their packed form as soon as they seal.
+    audit_auto_compact: bool = True
 
     def coverage(self) -> Callable[[str], bool]:
         return coverage_for_prefixes(self.protected_prefixes)
@@ -322,6 +333,24 @@ class KeypadConfigBuilder:
         self._config = replace(self._config, storage_backend=backend)
         return self
 
+    def audit_store(
+        self,
+        store: str = "segmented",
+        segment_entries: int = 1024,
+        auto_compact: bool = True,
+    ) -> "KeypadConfigBuilder":
+        """Select the audit-store engine (see docs/AUDITSTORE.md):
+        ``'flat'`` (the paper's append-only log, the default) or
+        ``'segmented'`` (event-sourced segments + materialized forensic
+        views)."""
+        self._config = replace(
+            self._config,
+            audit_store=store,
+            audit_segment_entries=segment_entries,
+            audit_auto_compact=auto_compact,
+        )
+        return self
+
     def tracing(
         self,
         op_deadline: Optional[float] = None,
@@ -459,6 +488,16 @@ def validate_config(config: KeypadConfig) -> KeypadConfig:
         raise ConfigError(
             f"unknown storage backend {config.storage_backend!r}; "
             f"choose one of {sorted(BACKENDS)}"
+        )
+    if config.audit_store not in ("flat", "segmented"):
+        raise ConfigError(
+            f"audit_store must be 'flat' or 'segmented', "
+            f"got {config.audit_store!r}"
+        )
+    if config.audit_segment_entries < 2:
+        raise ConfigError(
+            f"audit_segment_entries must be >= 2, "
+            f"got {config.audit_segment_entries!r}"
         )
     return config
 

@@ -1,7 +1,7 @@
 """The remote audit services: key service and metadata service (PKG)."""
 
 from repro.core.services.keyservice import AUDIT_ID_LEN, KeyService
-from repro.core.services.logstore import AppendOnlyLog, LogEntry, ShardedLog
+from repro.auditstore.log import AppendOnlyLog, LogEntry, ShardedLog
 from repro.core.services.metadataservice import (
     ROOT_DIR_ID,
     MetadataService,

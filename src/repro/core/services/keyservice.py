@@ -27,18 +27,14 @@ from repro.crypto.drbg import HmacDrbg
 from repro.errors import RevokedError, RpcError
 from repro.net.rpc import RpcServer
 from repro.sim import Lock, Simulation
-from repro.core.services.logstore import AppendOnlyLog, LogEntry, ShardedLog
+from repro.auditstore import make_audit_log
+from repro.auditstore.log import DISCLOSING_KINDS, LogEntry
 
 __all__ = ["KeyService", "AUDIT_ID_LEN", "REMOTE_KEY_LEN", "DISCLOSING_KINDS"]
 
 AUDIT_ID_LEN = 24  # 192-bit audit IDs ("randomly generated 192-bit integer")
 REMOTE_KEY_LEN = 32
 
-#: Log-entry kinds that disclose key material (what the forensic tool
-#: counts as compromising; shared with the cluster log merge).
-DISCLOSING_KINDS = ("fetch", "refresh", "prefetch", "profile-prefetch",
-                    "paired-fetch", "paired-refresh", "paired-prefetch",
-                    "paired-profile-prefetch", "create")
 
 
 class KeyService:
@@ -51,6 +47,9 @@ class KeyService:
         seed: bytes = b"key-service",
         name: str = "key-service",
         shards: int = 1,
+        audit_store: str = "flat",
+        segment_entries: int = 1024,
+        auto_compact: bool = True,
     ):
         if shards < 1:
             raise ValueError("key service needs at least one shard")
@@ -64,14 +63,21 @@ class KeyService:
         ]
         self._owner: dict[bytes, str] = {}
         self._revoked_devices: set[str] = set()
-        if shards == 1:
-            self._shard_locks: Optional[list[Lock]] = None
-            self.access_log = AppendOnlyLog(name="key-access")
-        else:
-            self._shard_locks = [Lock(sim) for _ in range(shards)]
-            self.access_log = ShardedLog(
-                name="key-access", shards=shards, router=self._route_record
-            )
+        # Shard locks model per-shard worker queues regardless of how
+        # the log is stored; the segmented store keeps one global store
+        # even with shards > 1 (group-committed segments subsume the
+        # per-shard chain trick without changing simulated time).
+        self._shard_locks: Optional[list[Lock]] = (
+            None if shards == 1 else [Lock(sim) for _ in range(shards)]
+        )
+        self.access_log = make_audit_log(
+            name="key-access",
+            store=audit_store,
+            shards=shards,
+            router=self._route_record,
+            segment_entries=segment_entries,
+            auto_compact=auto_compact,
+        )
 
         # Retry dedup: token -> time of the entry it logged.  A retried
         # fetch carrying the same token inside its dedup window returns
@@ -476,7 +482,15 @@ class KeyService:
     def accesses_after(
         self, t: float, device_id: Optional[str] = None
     ) -> list[LogEntry]:
-        """All key-disclosing log entries at or after time ``t``."""
+        """All key-disclosing log entries at or after time ``t``.
+
+        With the segmented store this answers from the post-theft
+        window view (one bisect, O(answer)); the flat log scans.
+        Both return identical entries in append order.
+        """
+        views = getattr(self.access_log, "views", None)
+        if views is not None:
+            return views.accesses_after(t, device_id=device_id)
         return [
             e
             for e in self.access_log.entries(since=t, device_id=device_id)

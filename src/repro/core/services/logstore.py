@@ -1,201 +1,44 @@
-"""Append-only, tamper-evident log storage for the audit services.
+"""Deprecation shim: the log primitives moved to
+:mod:`repro.auditstore.log`.
 
-Both services log durably *before* replying ("Before responding to the
-request, the service durably logs the requested ID and a timestamp"),
-and the metadata store is explicitly append-only so a thief "cannot
-overwrite the user's metadata with bogus information after theft" —
-later records never erase earlier ones.
-
-Entries are hash-chained; :meth:`verify_chain` lets the forensic tool
-prove the log was not truncated or rewritten in place.
+``LogEntry``, ``AppendOnlyLog``, and ``ShardedLog`` now live inside the
+event-sourced audit store subsystem alongside ``SegmentedAuditStore``
+and the materialized views (see docs/AUDITSTORE.md).  Every historical
+import keeps working, lazily, with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+import importlib
+import warnings
 
-from repro.crypto.sha256 import sha256_fast
+_EXPORTS = {
+    "LogEntry": "repro.auditstore.log",
+    "AppendOnlyLog": "repro.auditstore.log",
+    "ShardedLog": "repro.auditstore.log",
+    "_entry_digest": "repro.auditstore.log",
+}
 
 __all__ = ["LogEntry", "AppendOnlyLog", "ShardedLog"]
 
 
-@dataclass(frozen=True)
-class LogEntry:
-    """One durable record."""
-
-    sequence: int
-    timestamp: float
-    device_id: str
-    kind: str
-    fields: dict[str, Any]
-    chain_hash: bytes = b""
-
-    def describe(self) -> str:
-        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.fields.items()))
-        return f"[{self.timestamp:.3f}] {self.device_id} {self.kind}: {detail}"
-
-
-def _entry_digest(prev: bytes, entry: LogEntry) -> bytes:
-    material = repr(
-        (entry.sequence, entry.timestamp, entry.device_id, entry.kind,
-         sorted(entry.fields.items()))
-    ).encode()
-    return sha256_fast(prev + material)
-
-
-@dataclass
-class AppendOnlyLog:
-    """A hash-chained append-only record sequence."""
-
-    name: str = "log"
-    _entries: list[LogEntry] = field(default_factory=list)
-
-    def append(
-        self, timestamp: float, device_id: str, kind: str, **fields: Any
-    ) -> LogEntry:
-        prev = self._entries[-1].chain_hash if self._entries else b"\x00" * 32
-        entry = LogEntry(
-            sequence=len(self._entries),
-            timestamp=timestamp,
-            device_id=device_id,
-            kind=kind,
-            fields=dict(fields),
+def __getattr__(name: str):
+    home = _EXPORTS.get(name)
+    if home is None:
+        raise AttributeError(
+            f"module 'repro.core.services.logstore' has no attribute {name!r}"
         )
-        entry = LogEntry(
-            sequence=entry.sequence,
-            timestamp=entry.timestamp,
-            device_id=entry.device_id,
-            kind=entry.kind,
-            fields=entry.fields,
-            chain_hash=_entry_digest(prev, entry),
-        )
-        self._entries.append(entry)
-        return entry
-
-    def append_many(
-        self, records: list[tuple[float, str, str, dict]]
-    ) -> list[LogEntry]:
-        """Group commit: append N records under one durable write.
-
-        The records are ``(timestamp, device_id, kind, fields)`` tuples;
-        the chain math is identical to N individual appends (readers and
-        :meth:`verify_chain` cannot tell them apart).  The *durable
-        write charge* for the group is the caller's responsibility —
-        this is what lets the server frontend amortise one
-        ``service_log_append`` over a cross-device batch.
-        """
-        return [
-            self.append(timestamp, device_id, kind, **fields)
-            for timestamp, device_id, kind, fields in records
-        ]
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __iter__(self) -> Iterator[LogEntry]:
-        return iter(self._entries)
-
-    def entries(
-        self,
-        since: Optional[float] = None,
-        device_id: Optional[str] = None,
-        kind: Optional[str] = None,
-        predicate: Optional[Callable[[LogEntry], bool]] = None,
-    ) -> list[LogEntry]:
-        """Filtered view (forensics-side reads; not an RPC)."""
-        out = []
-        for entry in self._entries:
-            if since is not None and entry.timestamp < since:
-                continue
-            if device_id is not None and entry.device_id != device_id:
-                continue
-            if kind is not None and entry.kind != kind:
-                continue
-            if predicate is not None and not predicate(entry):
-                continue
-            out.append(entry)
-        return out
-
-    def verify_chain(self) -> bool:
-        """Check the hash chain end to end."""
-        prev = b"\x00" * 32
-        for entry in self._entries:
-            expected = _entry_digest(prev, entry)
-            if expected != entry.chain_hash:
-                return False
-            prev = entry.chain_hash
-        return True
+    warnings.warn(
+        f"importing {name!r} from 'repro.core.services.logstore' is "
+        f"deprecated; import it from '{home}' (or 'repro.api' for the "
+        f"stable facade)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Deliberately not cached in globals(): each use warns, so stale
+    # imports stay visible instead of going quiet after the first hit.
+    return getattr(importlib.import_module(home), name)
 
 
-class ShardedLog:
-    """N independent hash chains presenting one logical log.
-
-    Each shard is a full :class:`AppendOnlyLog` (its own chain, so
-    shards can be written by concurrent service workers without a
-    global serialization point), routed by a caller-supplied function
-    of the record.  Readers see the global append order: iteration,
-    ``entries`` and ``len`` behave exactly like a single log, and
-    :meth:`verify_chain` proves every shard's chain.
-    """
-
-    def __init__(self, name: str, shards: int, router: Callable[..., int]):
-        if shards < 1:
-            raise ValueError("a sharded log needs at least one shard")
-        self.name = name
-        # router(device_id, kind, fields) -> shard index (any int).
-        self._router = router
-        self.shards = [
-            AppendOnlyLog(name=f"{name}-s{i}") for i in range(shards)
-        ]
-        self._order: list[LogEntry] = []
-
-    def shard_of(self, device_id: str, kind: str, fields: dict) -> int:
-        return self._router(device_id, kind, fields) % len(self.shards)
-
-    def append(
-        self, timestamp: float, device_id: str, kind: str, **fields: Any
-    ) -> LogEntry:
-        idx = self.shard_of(device_id, kind, fields)
-        entry = self.shards[idx].append(timestamp, device_id, kind, **fields)
-        self._order.append(entry)
-        return entry
-
-    def append_many(
-        self, records: list[tuple[float, str, str, dict]]
-    ) -> list[LogEntry]:
-        """Group commit across shards; global order follows the batch."""
-        return [
-            self.append(timestamp, device_id, kind, **fields)
-            for timestamp, device_id, kind, fields in records
-        ]
-
-    def __len__(self) -> int:
-        return len(self._order)
-
-    def __iter__(self) -> Iterator[LogEntry]:
-        return iter(self._order)
-
-    def entries(
-        self,
-        since: Optional[float] = None,
-        device_id: Optional[str] = None,
-        kind: Optional[str] = None,
-        predicate: Optional[Callable[[LogEntry], bool]] = None,
-    ) -> list[LogEntry]:
-        """Filtered view over the global append order."""
-        out = []
-        for entry in self._order:
-            if since is not None and entry.timestamp < since:
-                continue
-            if device_id is not None and entry.device_id != device_id:
-                continue
-            if kind is not None and entry.kind != kind:
-                continue
-            if predicate is not None and not predicate(entry):
-                continue
-            out.append(entry)
-        return out
-
-    def verify_chain(self) -> bool:
-        return all(shard.verify_chain() for shard in self.shards)
+def __dir__() -> list[str]:
+    return sorted(set(list(globals()) + __all__))

@@ -21,7 +21,7 @@ from repro.crypto.ibe import TOY, PrivateKeyGenerator
 from repro.errors import RpcError
 from repro.net.rpc import RpcServer
 from repro.sim import Simulation
-from repro.core.services.logstore import AppendOnlyLog
+from repro.auditstore.log import AppendOnlyLog
 
 __all__ = ["MetadataService", "identity_string", "parse_identity"]
 

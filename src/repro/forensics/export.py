@@ -14,8 +14,9 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro.auditstore.log import DISCLOSING_KINDS, AppendOnlyLog
+from repro.auditstore.views import AuditViews
 from repro.core.services.keyservice import KeyService
-from repro.core.services.logstore import AppendOnlyLog
 from repro.core.services.metadataservice import (
     ROOT_DIR_ID,
     MetadataService,
@@ -85,11 +86,25 @@ def export_logs(
 class OfflineKeyLog:
     """Read-only replica of the key service's audit state."""
 
-    _DISCLOSING = ("fetch", "refresh", "prefetch", "paired-fetch",
-                   "paired-refresh", "paired-prefetch", "create")
+    # The full shared tuple: the offline replica must count exactly the
+    # kinds the live service disclosed (it used to omit the
+    # profile-prefetch variants, silently dropping those disclosures
+    # from offline reports).
+    _DISCLOSING = DISCLOSING_KINDS
 
     def __init__(self, log: AppendOnlyLog):
         self.access_log = log
+        self._views: AuditViews | None = None
+
+    @property
+    def views(self) -> AuditViews:
+        """Materialized forensic views over the bundle, built lazily
+        on first use (offline bundles are read-only, so one rebuild is
+        enough for the replica's lifetime)."""
+        if self._views is None:
+            self._views = AuditViews(self.access_log)
+            self._views.rebuild()
+        return self._views
 
     def accesses_after(self, t: float, device_id: str | None = None):
         return [

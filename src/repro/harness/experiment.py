@@ -222,6 +222,9 @@ def build_keypad_rig(
             costs=costs,
             seed=seed + b"|replica",
             shards=config.key_shards,
+            audit_store=config.audit_store,
+            segment_entries=config.audit_segment_entries,
+            auto_compact=config.audit_auto_compact,
         )
         replica_links = [
             network.make_link(sim, label=f"{network.name}-keys-r{i}")
@@ -258,7 +261,13 @@ def build_keypad_rig(
         )
     else:
         key_service = KeyService(
-            sim, costs=costs, seed=seed + b"|ks", shards=config.key_shards
+            sim,
+            costs=costs,
+            seed=seed + b"|ks",
+            shards=config.key_shards,
+            audit_store=config.audit_store,
+            segment_entries=config.audit_segment_entries,
+            auto_compact=config.audit_auto_compact,
         )
         key_link = network.make_link(sim, label=f"{network.name}-keys")
         services = DeviceServices(

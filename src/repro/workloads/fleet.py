@@ -29,7 +29,7 @@ request sequence byte for byte regardless of fleet size or host.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from repro.core.context import OpContext
 from repro.core.services.keyservice import (
@@ -267,6 +267,9 @@ class FleetResult:
     frontend_metrics: list[dict]
     #: scripted-admin outcomes, one entry per ControlEvent fired.
     control_log: list = field(default_factory=list)
+    #: whatever ``run_fleet(inspect=...)``'s callback returned (not part
+    #: of :meth:`summary`; benchmarks consume it directly).
+    inspection: Optional[object] = None
 
     # -- aggregates -----------------------------------------------------------
     def _latencies(self) -> list[float]:
@@ -390,6 +393,9 @@ def run_fleet(
     threshold: int = 1,
     shards: int = 1,
     control: Optional[list] = None,
+    audit_store: str = "flat",
+    segment_entries: int = 1024,
+    inspect: Optional[Callable] = None,
 ) -> FleetResult:
     """Provision and drive a fleet; returns the measured result.
 
@@ -412,6 +418,14 @@ def run_fleet(
     the fleet hammers the same service.  Outcomes land in
     ``FleetResult.control_log``; ``None``/empty keeps the run identical
     to the pre-control fleet.
+
+    ``inspect`` is an optional callable invoked once after the run with
+    the provisioned key service (or the :class:`ReplicaGroup` when
+    ``replicas > 1``); whatever it returns lands in
+    ``FleetResult.inspection``.  The simulated world is torn down with
+    the call frame, so this is the only supported way for benchmarks to
+    examine server-side state (audit log contents, store stats, ...)
+    once :func:`run_fleet` returns.
     """
     from repro.harness.runner import derive_arm_seed
 
@@ -428,6 +442,7 @@ def run_fleet(
         group = ReplicaGroup(
             sim, m=replicas, k=threshold, costs=costs,
             seed=derive_arm_seed(seed, "cluster"), shards=shards,
+            audit_store=audit_store, segment_entries=segment_entries,
         )
         if frontend is not None:
             frontends = group.install_frontends(**frontend)
@@ -438,6 +453,7 @@ def run_fleet(
         service = KeyService(
             sim, costs=costs, seed=derive_arm_seed(seed, "ks"),
             name="fleet-keys", shards=shards,
+            audit_store=audit_store, segment_entries=segment_entries,
         )
         if frontend is not None:
             frontends = [service.install_frontend(**frontend)]
@@ -531,4 +547,8 @@ def run_fleet(
         stats=[device.stats for device in fleet],
         frontend_metrics=[f.metrics.as_dict() for f in frontends],
         control_log=control_log,
+        inspection=(
+            inspect(service if group is None else group)
+            if inspect is not None else None
+        ),
     )

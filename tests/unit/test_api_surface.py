@@ -43,6 +43,9 @@ API_SURFACE = sorted([
     "ClusterAuditLog",
     # forensics
     "AuditTool", "AuditReport",
+    # audit store (event-sourced log + materialized views)
+    "AppendOnlyLog", "ShardedLog", "LogEntry",
+    "SegmentedAuditStore", "AuditSegment", "AuditViews",
     # fleet scale
     "run_fleet", "FleetResult", "DeviceProfile", "ServiceFrontend",
     "ControlEvent",
@@ -112,6 +115,20 @@ class TestDeprecationShims:
         with pytest.raises(AttributeError):
             core.NoSuchThing  # noqa: B018
 
+    def test_services_logstore_warns_but_resolves(self):
+        import repro.core.services.logstore as logstore
+
+        with pytest.warns(DeprecationWarning, match="repro.auditstore.log"):
+            moved = logstore.AppendOnlyLog
+        from repro.auditstore.log import AppendOnlyLog as direct
+
+        assert moved is direct
+        with pytest.warns(DeprecationWarning):
+            assert logstore.ShardedLog is not None
+            assert logstore.LogEntry is not None
+        with pytest.raises(AttributeError):
+            logstore.NoSuchThing  # noqa: B018
+
     def test_storage_fsiface_warns_but_resolves(self):
         import repro.storage.fsiface as fsiface
 
@@ -126,6 +143,8 @@ class TestDeprecationShims:
     def test_submodule_imports_stay_silent(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
+            import repro.auditstore  # noqa: F401
+            import repro.auditstore.log  # noqa: F401
             import repro.core.fs  # noqa: F401
             import repro.net.rpc  # noqa: F401
             import repro.storage.backend  # noqa: F401

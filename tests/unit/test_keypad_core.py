@@ -27,7 +27,7 @@ from repro.core.header import (
     unwrap_data_key,
     wrap_data_key,
 )
-from repro.core.services.logstore import AppendOnlyLog
+from repro.auditstore.log import AppendOnlyLog
 from repro.core.services.metadataservice import parse_identity
 
 

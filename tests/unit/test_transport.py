@@ -22,7 +22,7 @@ from repro.core.client import (
     KeyFetch,
     XattrRegistration,
 )
-from repro.core.services.logstore import AppendOnlyLog, ShardedLog
+from repro.auditstore.log import AppendOnlyLog, ShardedLog
 
 
 class TestEnvelope:
