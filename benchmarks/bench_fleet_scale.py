@@ -53,15 +53,28 @@ ARMS = [
     (100, "drr", 8, 3, 2),
 ]
 
+#: (devices, policy, workers, replicas, threshold, shards, duration).
+#: Short windows on purpose: these arms measure fleet-*size* scaling
+#: (provisioning, event-kernel load, per-device state) through the
+#: sharded engine, not steady-state contention.  Included in the table
+#: when ``KEYPAD_BENCH_SCALE_ARMS=1`` (or ``--scale``), since the 1M
+#: arm alone takes several minutes of wall clock.
+SCALE_ARMS = [
+    (100_000, "drr", 1024, 1, 1, 4, 1.0),
+    (1_000_000, "drr", 4096, 1, 1, 4, 0.05),
+]
 
-def _label(devices, policy, workers, replicas, threshold):
+
+def _label(devices, policy, workers, replicas, threshold, shards=1):
     tag = f"{devices}dev-{policy}-w{workers}"
     if replicas > 1:
         tag += f"-{threshold}of{replicas}"
+    if shards > 1:
+        tag += f"-s{shards}"
     return tag
 
 
-def run_arm(devices, policy, workers, replicas=1, threshold=1,
+def run_arm(devices, policy, workers, replicas=1, threshold=1, shards=1,
             duration=DURATION):
     """One fleet arm -> its summary dict (module-level: picklable)."""
     frontend = {
@@ -79,13 +92,22 @@ def run_arm(devices, policy, workers, replicas=1, threshold=1,
         frontend=frontend,
         replicas=replicas,
         threshold=threshold,
+        fleet_shards=shards,
     )
     return result.summary()
 
 
-def fleet_scale_table(jobs=None, arms=ARMS, duration=DURATION):
-    tasks = [(run_arm, arm + (duration,)) for arm in arms]
-    labels = [_label(*arm) for arm in arms]
+def _scale_arms_enabled() -> bool:
+    import os
+
+    return os.environ.get("KEYPAD_BENCH_SCALE_ARMS", "") == "1"
+
+
+def fleet_scale_table(jobs=None, arms=ARMS, duration=DURATION,
+                      scale_arms=()):
+    arms = [arm + (1, duration) for arm in arms] + list(scale_arms)
+    tasks = [(run_arm, arm) for arm in arms]
+    labels = [_label(*arm[:-1]) for arm in arms]
     results = run_tasks(tasks, labels, jobs=jobs)
 
     table = ResultTable(
@@ -93,14 +115,17 @@ def fleet_scale_table(jobs=None, arms=ARMS, duration=DURATION):
         columns=["devices", "policy", "workers", "requested", "shed rate",
                  "p50 ms", "p99 ms", "keys/s", "fairness"],
     )
-    for (devices, policy, workers, replicas, threshold), arm in zip(
-        arms, results
-    ):
+    for (devices, policy, workers, replicas, threshold, shards,
+         _dur), arm in zip(arms, results):
         s = arm.value
         fairness = s["fairness_nonscanner"]
+        if replicas > 1:
+            policy = f"{policy} {threshold}of{replicas}"
+        if shards > 1:
+            policy = f"{policy} x{shards}"
         table.add(
             devices,
-            policy if replicas == 1 else f"{policy} {threshold}of{replicas}",
+            policy,
             workers,
             s["requested"],
             f"{s['shed_rate']:.3f}",
@@ -122,7 +147,9 @@ def fleet_scale_table(jobs=None, arms=ARMS, duration=DURATION):
 
 
 def test_fleet_scale(benchmark, record_table):
-    table = benchmark.pedantic(fleet_scale_table, rounds=1, iterations=1)
+    scale = SCALE_ARMS if _scale_arms_enabled() else ()
+    table = benchmark.pedantic(fleet_scale_table, rounds=1, iterations=1,
+                               kwargs={"scale_arms": scale})
     record_table(table, "fleet_scale")
 
     rows = {(r[0], r[1]): r for r in table.rows}
@@ -143,6 +170,11 @@ def test_fleet_scale(benchmark, record_table):
     # The 10k arms must actually serve the fleet, not collapse.
     assert summaries["10000dev-drr-w128"]["throughput_keys_per_s"] > 1000.0
 
+    # Scale arms (opt-in): the sharded engine must carry the load.
+    for arm in scale:
+        label = _label(*arm[:-1])
+        assert summaries[label]["requested"] > 0, label
+
 
 def _main(argv=None):
     import argparse
@@ -151,8 +183,32 @@ def _main(argv=None):
     parser.add_argument("--smoke", action="store_true",
                         help="one 1,000-device DRR arm at 1/3 duration "
                              "(the CI fleet-smoke job)")
+    parser.add_argument("--shard-smoke", action="store_true",
+                        help="assert a sharded arm is byte-identical to "
+                             "the single-process run (CI fleet-smoke)")
+    parser.add_argument("--scale", action="store_true",
+                        help="include the 100k/1M sharded scale arms "
+                             "(several minutes of wall clock)")
     parser.add_argument("--jobs", type=int, default=None)
     args = parser.parse_args(argv)
+
+    if args.shard_smoke:
+        from repro.api import LAN
+        from repro.workloads import fleet_shard
+
+        if not fleet_shard.available(LAN):
+            print("shard smoke skipped: fork start method unavailable")
+            return 0
+        base = run_arm(300, "drr", 8, duration=4.0)
+        for shards in (2, 4):
+            sharded = run_arm(300, "drr", 8, shards=shards, duration=4.0)
+            assert sharded == base, (
+                f"sharded run (shards={shards}) diverged from "
+                f"single-process summary"
+            )
+        print(f"shard smoke ok: 300-device arm identical at 1/2/4 shards "
+              f"(keys/s={base['throughput_keys_per_s']:.1f})")
+        return 0
 
     if args.smoke:
         arms = [(1000, "drr", 8, 1, 1)]
@@ -165,7 +221,8 @@ def _main(argv=None):
         print(f"smoke ok: fairness={fairness:.2f} "
               f"shed_rate={summary['shed_rate']:.3f}")
         return 0
-    table = fleet_scale_table(jobs=args.jobs)
+    scale = SCALE_ARMS if args.scale or _scale_arms_enabled() else ()
+    table = fleet_scale_table(jobs=args.jobs, scale_arms=scale)
     print(table.render())
     return 0
 

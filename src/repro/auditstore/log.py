@@ -89,23 +89,25 @@ class AppendOnlyLog:
     def append(
         self, timestamp: float, device_id: str, kind: str, **fields: Any
     ) -> LogEntry:
-        prev = self._entries[-1].chain_hash if self._entries else GENESIS_HASH
+        entries = self._entries
+        prev = entries[-1].chain_hash if entries else GENESIS_HASH
+        sequence = len(entries)
+        # Inline entry_digest's material (same bytes) so the entry is
+        # constructed exactly once — frozen-dataclass construction is
+        # half this hot path's cost.  The kwargs dict is fresh and owned
+        # by this call, so it is stored without a defensive copy.
+        material = repr(
+            (sequence, timestamp, device_id, kind, sorted(fields.items()))
+        ).encode()
         entry = LogEntry(
-            sequence=len(self._entries),
+            sequence=sequence,
             timestamp=timestamp,
             device_id=device_id,
             kind=kind,
-            fields=dict(fields),
+            fields=fields,
+            chain_hash=sha256_fast(prev + material),
         )
-        entry = LogEntry(
-            sequence=entry.sequence,
-            timestamp=entry.timestamp,
-            device_id=entry.device_id,
-            kind=entry.kind,
-            fields=entry.fields,
-            chain_hash=entry_digest(prev, entry),
-        )
-        self._entries.append(entry)
+        entries.append(entry)
         return entry
 
     def append_many(

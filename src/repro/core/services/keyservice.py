@@ -212,7 +212,7 @@ class KeyService:
         yield from self._shard_queue(shard)
         try:
             # Durable log BEFORE replying.
-            yield self.sim.timeout(self.costs.service_log_append)
+            yield self.costs.service_log_append
             self.access_log.append(
                 self.sim.now, device_id, "create", audit_id=audit_id
             )
@@ -240,7 +240,7 @@ class KeyService:
             raise RpcError("audit ID already bound to a different key")
         yield from self._shard_queue(shard)
         try:
-            yield self.sim.timeout(self.costs.service_log_append)
+            yield self.costs.service_log_append
             self.access_log.append(
                 self.sim.now, device_id, "create", audit_id=audit_id
             )
@@ -281,8 +281,8 @@ class KeyService:
         shard = self._shard_of(audit_id)
         yield from self._shard_queue(shard)
         try:
-            yield self.sim.timeout(self.costs.service_log_append)
-            yield self.sim.timeout(self.costs.service_key_lookup)
+            yield self.costs.service_log_append
+            yield self.costs.service_key_lookup
             dedup = False
             if token is not None:
                 logged_at = self._fetch_tokens.get(bytes(token))
@@ -312,10 +312,10 @@ class KeyService:
         audit_ids = payload["audit_ids"]
         kind = payload.get("kind", "prefetch")
         if self.shards == 1:
-            yield self.sim.timeout(self.costs.service_log_append)
+            yield self.costs.service_log_append
             keys = []
             for audit_id in audit_ids:
-                yield self.sim.timeout(self.costs.service_key_lookup)
+                yield self.costs.service_key_lookup
                 if audit_id in self._key_shards[0]:
                     keys.append(self._fetch_one(device_id, audit_id, kind))
                 else:
@@ -346,9 +346,9 @@ class KeyService:
     ) -> Generator:
         yield from self._shard_queue(shard)
         try:
-            yield self.sim.timeout(self.costs.service_log_append)
+            yield self.costs.service_log_append
             for audit_id in audit_ids:
-                yield self.sim.timeout(self.costs.service_key_lookup)
+                yield self.costs.service_key_lookup
                 if audit_id in self._key_shards[shard]:
                     results[audit_id] = self._fetch_one(device_id, audit_id, kind)
                 else:
@@ -382,11 +382,11 @@ class KeyService:
             yield from self._shard_queue(shard)
             try:
                 # One durable write covers every member on this shard.
-                yield self.sim.timeout(self.costs.service_log_append)
+                yield self.costs.service_log_append
                 records: list[tuple[float, str, str, dict]] = []
                 for i in by_shard[shard]:
                     device_id, payload = requests[i]
-                    yield self.sim.timeout(self.costs.service_key_lookup)
+                    yield self.costs.service_key_lookup
                     outcomes[i] = self._group_fetch_one(
                         device_id, payload, records
                     )
@@ -436,7 +436,7 @@ class KeyService:
         """Record key evictions on hibernation (§6: "such evictions
         should be recorded on the audit servers")."""
         count = payload.get("count", 0)
-        yield self.sim.timeout(self.costs.service_log_append)
+        yield self.costs.service_log_append
         self.access_log.append(
             self.sim.now, device_id, "evict", count=count,
             reason=payload.get("reason", "hibernate"),
@@ -450,7 +450,7 @@ class KeyService:
         which the eviction *happened* on the device, not the flush time.
         """
         notices = payload.get("notices", [])
-        yield self.sim.timeout(self.costs.service_log_append)
+        yield self.costs.service_log_append
         for notice in notices:
             self.access_log.append(
                 float(notice["timestamp"]),
@@ -468,7 +468,7 @@ class KeyService:
         reflect when the access *happened*, not when it was uploaded.
         """
         records = payload.get("records", [])
-        yield self.sim.timeout(self.costs.service_log_append)
+        yield self.costs.service_log_append
         for record in records:
             self.access_log.append(
                 float(record["timestamp"]),

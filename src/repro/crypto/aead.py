@@ -46,6 +46,13 @@ class Aead:
     def _transform(self, nonce: bytes, data: bytes) -> bytes:
         raise NotImplementedError
 
+    @staticmethod
+    def sealed_len(plaintext_len: int) -> int:
+        """Exactly ``len(seal(nonce, plaintext))`` for a plaintext of the
+        given length (CTR modes never pad) — lets transports charge wire
+        sizes without running the cipher."""
+        return plaintext_len + TAG_LEN
+
     def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Encrypt and authenticate; returns ciphertext || 32-byte tag."""
         if len(nonce) != NONCE_LEN:
@@ -100,18 +107,28 @@ class StreamHmacAead(Aead):
         # block resumes a cheap copy() instead of re-hashing the prefix.
         self._stream_base = hashlib.sha256(self._enc_key)
 
+    #: counter suffixes for typical message sizes (RPC payloads are a
+    #: few hundred bytes), precomputed once instead of struct.pack'd on
+    #: every keystream block of every seal/open.
+    _CTR_SUFFIX = [i.to_bytes(8, "big") for i in range(256)]
+
     def _transform(self, nonce: bytes, data: bytes) -> bytes:
         if not data:
             return b""
         base = self._stream_base.copy()
         base.update(nonce)
         n_blocks = -(-len(data) // 32)
-        pack = struct.pack
+        copy = base.copy
+        suffixes = self._CTR_SUFFIX
+        if n_blocks > len(suffixes):
+            pack = struct.pack
+            suffixes = [pack(">Q", i) for i in range(n_blocks)]
         blocks = []
-        for i in range(n_blocks):
-            h = base.copy()
-            h.update(pack(">Q", i))
-            blocks.append(h.digest())
+        append = blocks.append
+        for ctr in suffixes[:n_blocks]:
+            h = copy()
+            h.update(ctr)
+            append(h.digest())
         return xor_bytes(data, b"".join(blocks))
 
     def _transform_reference(self, nonce: bytes, data: bytes) -> bytes:

@@ -164,7 +164,7 @@ class Link:
         delay = self.one_way_delay(n_bytes)
         if self.jitter > 0 and self._jitter_rng is not None:
             delay += self._jitter_rng.uniform(0.0, self.jitter)
-        yield self.sim.timeout(delay)
+        yield delay  # bare-delay sleep (kernel fast path)
         if not self.available:
             # The link dropped while the message was in flight.
             raise NetworkUnavailableError(f"{self.name} dropped mid-transfer")

@@ -20,11 +20,35 @@ The design deliberately mirrors a small subset of SimPy:
 * :meth:`Process.interrupt` throws :class:`Interrupt` inside a process,
   which is how we model things like a device being stolen mid-operation
   or a background thread being cancelled.
+
+Schedulers
+----------
+
+Two event-queue implementations share one firing order (the total order
+``(time, seq)`` where ``seq`` is a global schedule counter):
+
+* ``"heap"`` — the original ``heapq`` scheduler, kept verbatim as the
+  reference oracle (like the reference kernels in :mod:`repro.crypto`).
+* ``"calendar"`` — a bucketed timing-wheel scheduler with a same-instant
+  FIFO fast queue.  Zero-delay events (process starts, event triggers,
+  queue hand-offs — roughly half of all scheduling under fleet load)
+  bypass the priority structure entirely and ride a deque that is
+  merge-compared against the wheel, and future events go to O(1)
+  append/scan buckets, with a far-horizon heap for sparse long delays.
+
+The calendar scheduler pops events in exactly the same ``(time, seq)``
+order as the heap (property-tested in
+``tests/property/test_kernel_equivalence.py``), so every figure and
+table is byte-identical under either.  Selection:
+``Simulation(kernel="heap"|"calendar")`` or the ``KEYPAD_SIM_KERNEL``
+environment variable (default ``calendar``).
 """
 
 from __future__ import annotations
 
-import heapq
+import os
+from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -37,7 +61,12 @@ __all__ = [
     "Semaphore",
     "Interrupt",
     "SimulationError",
+    "DEFAULT_KERNEL",
 ]
+
+#: env knob naming the default scheduler for new Simulations.
+KERNEL_ENV = "KEYPAD_SIM_KERNEL"
+DEFAULT_KERNEL = "calendar"
 
 
 class SimulationError(Exception):
@@ -60,24 +89,59 @@ class Waitable:
     in FIFO order at the simulated instant it triggers.
     """
 
+    __slots__ = ("sim", "triggered", "ok", "value", "_waiters", "_windex",
+                 "_callbacks")
+
     def __init__(self, sim: "Simulation"):
         self.sim = sim
         self.triggered = False
         self.ok: Optional[bool] = None
         self.value: Any = None
-        self._waiters: list[Process] = []
+        # Waiter list is lazy (most waitables never get one) and uses
+        # mark-dead removal: cancelled waiters (interrupts, abandoned
+        # deadline races) are overwritten with None instead of paying
+        # list.remove's O(n) shift, and an index map is built on the
+        # first removal so repeated cancellations stay O(1).  FIFO
+        # resume order is the list order of the survivors.
+        self._waiters: Optional[list] = None
+        self._windex: Optional[dict] = None
+        # Trigger callbacks (internal): run synchronously at trigger
+        # time, after waiter resumes are scheduled.  Used by the RPC
+        # deadline race to avoid spawning watcher processes per call.
+        self._callbacks: Optional[list] = None
 
     # -- internal ---------------------------------------------------------
     def _add_waiter(self, proc: "Process") -> None:
         if self.triggered:
             # Resume immediately (still via the scheduler, for ordering).
             self.sim._schedule(0.0, proc._resume, self.ok, self.value)
+        elif self._waiters is None:
+            self._waiters = [proc]
         else:
+            if self._windex is not None:
+                self._windex[id(proc)] = len(self._waiters)
             self._waiters.append(proc)
 
     def _remove_waiter(self, proc: "Process") -> None:
-        if proc in self._waiters:
-            self._waiters.remove(proc)
+        waiters = self._waiters
+        if not waiters:
+            return
+        index = self._windex
+        if index is None:
+            # First removal on this waitable: build the id->slot map so
+            # any further cancellations are O(1).
+            index = self._windex = {
+                id(w): i for i, w in enumerate(waiters) if w is not None
+            }
+        slot = index.pop(id(proc), None)
+        if slot is not None and waiters[slot] is proc:
+            waiters[slot] = None
+
+    def _add_callback(self, fn: Callable) -> None:
+        if self._callbacks is None:
+            self._callbacks = [fn]
+        else:
+            self._callbacks.append(fn)
 
     def _trigger(self, ok: bool, value: Any) -> None:
         if self.triggered:
@@ -85,13 +149,23 @@ class Waitable:
         self.triggered = True
         self.ok = ok
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            self.sim._schedule(0.0, proc._resume, ok, value)
+        waiters, self._waiters = self._waiters, None
+        self._windex = None
+        if waiters:
+            schedule = self.sim._schedule
+            for proc in waiters:
+                if proc is not None:
+                    schedule(0.0, proc._resume, ok, value)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
 
 
 class Timeout(Waitable):
     """Fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulation", delay: float, value: Any = None):
         if delay < 0:
@@ -103,6 +177,8 @@ class Timeout(Waitable):
 
 class Event(Waitable):
     """A manually-triggered waitable (one-shot)."""
+
+    __slots__ = ()
 
     def succeed(self, value: Any = None) -> "Event":
         self._trigger(True, value)
@@ -118,6 +194,8 @@ class Event(Waitable):
 class Process(Waitable):
     """A running generator.  Also waitable: yielding it joins it."""
 
+    __slots__ = ("gen", "name", "_waiting_on", "_started", "_sleep_token")
+
     def __init__(self, sim: "Simulation", gen: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(gen, "send"):
@@ -128,6 +206,7 @@ class Process(Waitable):
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Waitable] = None
         self._started = False
+        self._sleep_token = 0
         sim._schedule(0.0, self._resume, True, None)
 
     # -- public -----------------------------------------------------------
@@ -142,6 +221,10 @@ class Process(Waitable):
         if self._waiting_on is not None:
             self._waiting_on._remove_waiter(self)
             self._waiting_on = None
+        # Invalidate any pending bare-delay sleep (see _resume): its
+        # queued _sleep_fire becomes a no-op, exactly as a removed
+        # Timeout waiter would be.
+        self._sleep_token += 1
         exc = Interrupt(cause)
         self.sim._schedule(0.0, self._resume, False, exc)
 
@@ -164,21 +247,37 @@ class Process(Waitable):
             self._trigger(False, exc)
             return
         except Exception as exc:
-            had_waiters = bool(self._waiters)
+            # A registered callback counts as an observer: the failure
+            # is delivered there instead of crashing the simulation.
+            observed = bool(self._waiters) or bool(self._callbacks)
             self._trigger(False, exc)
-            if not had_waiters:
+            if not observed:
                 self.sim._crash(self, exc)
             return
-        if not isinstance(target, Waitable):
-            exc2 = SimulationError(
-                f"process {self.name!r} yielded {target!r}, "
-                "expected a Timeout/Event/Process"
-            )
-            self._trigger(False, exc2)
-            self.sim._crash(self, exc2)
+        if type(target) is Timeout or isinstance(target, Waitable):
+            self._waiting_on = target
+            target._add_waiter(self)
             return
-        self._waiting_on = target
-        target._add_waiter(self)
+        cls = type(target)
+        if (cls is float or cls is int) and target >= 0:
+            # Bare-delay sleep: `yield d` is event-for-event identical
+            # to `yield sim.timeout(d)` — one entry at now+d (the hop,
+            # where the Timeout's _trigger would sit) which then
+            # re-schedules the resume at the queue tail, consuming the
+            # same seq budget — minus the Timeout/waiter allocations.
+            self.sim._schedule(target, self._sleep_fire, self._sleep_token)
+            return
+        exc2 = SimulationError(
+            f"process {self.name!r} yielded {target!r}, "
+            "expected a Timeout/Event/Process or a non-negative delay"
+        )
+        self._trigger(False, exc2)
+        self.sim._crash(self, exc2)
+
+    def _sleep_fire(self, token: int) -> None:
+        if token != self._sleep_token or self.triggered:
+            return  # the sleep was interrupted away
+        self.sim._schedule(0.0, self._resume, True, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "alive"
@@ -196,6 +295,8 @@ class Lock:
         finally:
             lock.release()
     """
+
+    __slots__ = ("sim", "_locked", "_waiters")
 
     def __init__(self, sim: "Simulation"):
         self.sim = sim
@@ -242,6 +343,8 @@ class Semaphore:
             sem.release()
     """
 
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
+
     def __init__(self, sim: "Simulation", capacity: int):
         if capacity < 1:
             raise SimulationError(f"semaphore capacity must be >= 1, got {capacity}")
@@ -285,21 +388,23 @@ class Queue:
     daemon.
     """
 
+    __slots__ = ("sim", "_items", "_getters")
+
     def __init__(self, sim: "Simulation"):
         self.sim = sim
-        self._items: list[Any] = []
-        self._getters: list[Event] = []
+        self._items: deque = deque()
+        self._getters: deque = deque()
 
     def put(self, item: Any) -> None:
         if self._getters:
-            self._getters.pop(0).succeed(item)
+            self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
 
     def get(self) -> Event:
         ev = Event(self.sim)
         if self._items:
-            ev.succeed(self._items.pop(0))
+            ev.succeed(self._items.popleft())
         else:
             self._getters.append(ev)
         return ev
@@ -308,13 +413,291 @@ class Queue:
         return len(self._items)
 
 
-class Simulation:
-    """The event loop.  Time is in (simulated) seconds."""
+class _HeapScheduler:
+    """The original ``heapq`` event queue (the reference oracle)."""
+
+    __slots__ = ("_heap",)
+    name = "heap"
 
     def __init__(self) -> None:
+        self._heap: list[tuple] = []
+
+    def push(self, entry: tuple) -> None:
+        heappush(self._heap, entry)
+
+    # The reference kernel kept zero-delay events on the same heap.
+    push_now = push
+
+    def pop(self) -> tuple:
+        return heappop(self._heap)
+
+    def pop_due(self, until: Optional[float]) -> Optional[tuple]:
+        """Pop the next entry, or None if the queue is empty or the next
+        entry fires after ``until`` (inclusive bound; None = no bound)."""
+        heap = self._heap
+        if not heap or (until is not None and heap[0][0] > until):
+            return None
+        return heappop(heap)
+
+    def pop_before(self, limit: float) -> Optional[tuple]:
+        """Pop the next entry strictly below ``limit``, else None."""
+        heap = self._heap
+        if not heap or heap[0][0] >= limit:
+            return None
+        return heappop(heap)
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class _CalendarScheduler:
+    """Bucketed timing-wheel event queue with a same-instant fast path.
+
+    Three tiers, popped in global ``(time, seq)`` order:
+
+    * ``now`` — a deque of zero-delay entries.  They are appended in
+      ``seq`` order at the current instant, so the deque head is always
+      this tier's minimum; it is merge-compared against the wheel tier
+      so cross-tier ties resolve exactly like one big heap.  Roughly
+      half of all scheduling under fleet load (process starts, event
+      triggers, queue hand-offs) rides this deque and never touches a
+      priority structure at all.
+    * the **wheel** — ``nb`` buckets of width ``w`` covering
+      ``[base, base + nb*w)``, absolutely indexed (no wrap).  Push is an
+      O(1) append.  When the cursor reaches a bucket it is ``heapify``-d
+      once (C, linear) and drained with ``heappop`` — so even a fat
+      bucket degrades to a *small* heap, never to a linear scan.  Bucket
+      index is ``floor((t - base)/w)``, monotone in ``t`` and identical
+      for identical ``t``, so equal-time entries always share a bucket
+      and resolve by ``seq`` — the heap oracle's exact firing order,
+      float boundaries included.
+    * ``far`` — a heap for entries beyond the wheel horizon (long
+      timeouts: rekey epochs, Texp refreshes, idle think timers).
+
+    When the wheel drains past its horizon it *rebases*: the bucket
+    width is retuned from the observed pop rate, the wheel jumps to the
+    next far entry (no empty-bucket crawl across quiet gaps), and far
+    entries inside the new horizon migrate into buckets.  A push behind
+    the cursor joins the active bucket's heap (ordering holds: the heap
+    pops by true ``(time, seq)``, and every remaining wheel entry is in
+    a later bucket, hence later in time); a push behind an *inactive*
+    cursor rewinds the cursor instead — all skipped buckets are empty.
+    """
+
+    __slots__ = ("_now", "_far", "_buckets", "_nb", "_w", "_inv_w", "_base",
+                 "_horizon", "_cursor", "_cur", "_ring_count", "_pops",
+                 "_last_rebase")
+
+    name = "calendar"
+
+    #: bucket count; width adapts, the count does not.
+    NB = 1024
+    #: bucket-width bounds (seconds): between 100 ns and 1 s.
+    MIN_W = 1e-7
+    MAX_W = 1.0
+
+    def __init__(self) -> None:
+        self._now: deque = deque()
+        self._far: list[tuple] = []
+        self._nb = nb = self.NB
+        self._buckets: list[list] = [[] for _ in range(nb)]
+        self._w = 1e-3
+        self._inv_w = 1.0 / self._w
+        self._base = 0.0
+        self._horizon = nb * self._w
+        self._cursor = 0
+        #: the heapified bucket currently being drained, or None.
+        self._cur: Optional[list] = None
+        self._ring_count = 0
+        self._pops = 0
+        self._last_rebase = 0.0
+
+    def __len__(self) -> int:
+        return len(self._now) + self._ring_count + len(self._far)
+
+    def push_now(self, entry: tuple) -> None:
+        """Zero-delay fast path: FIFO at the current instant."""
+        self._now.append(entry)
+
+    def push(self, entry: tuple) -> None:
+        t = entry[0]
+        if t >= self._horizon:
+            heappush(self._far, entry)
+            return
+        self._ring_count += 1
+        idx = int((t - self._base) * self._inv_w)
+        cursor = self._cursor
+        if idx > cursor:
+            if idx >= self._nb:  # float edge at the horizon boundary
+                idx = self._nb - 1
+            self._buckets[idx].append(entry)
+            return
+        cur = self._cur
+        if cur is not None:
+            # The active bucket is already a heap; entries at or behind
+            # the cursor compete there (see class docstring).
+            heappush(cur, entry)
+        elif idx == cursor:
+            self._buckets[idx].append(entry)
+        else:
+            # Rewind: every bucket in [idx, cursor) is empty, so the
+            # scan restarts at the entry's true bucket.
+            self._buckets[idx].append(entry)
+            self._cursor = idx
+
+    def _rebase(self) -> None:
+        """Retune the bucket width and jump the wheel to the next far
+        entry, migrating far entries inside the new horizon."""
+        far = self._far
+        t0 = far[0][0]
+        elapsed = t0 - self._last_rebase
+        pops = self._pops
+        if pops > 16 and elapsed > 0.0:
+            # Aim for ~4 events per bucket-width of observed traffic.
+            w = 4.0 * elapsed / pops
+            w = self.MIN_W if w < self.MIN_W else (
+                self.MAX_W if w > self.MAX_W else w)
+            self._w = w
+            self._inv_w = 1.0 / w
+        self._pops = 0
+        self._last_rebase = t0
+        self._base = t0
+        self._horizon = horizon = t0 + self._nb * self._w
+        self._cursor = 0
+        inv_w = self._inv_w
+        nb = self._nb
+        buckets = self._buckets
+        while far and far[0][0] < horizon:
+            entry = heappop(far)
+            idx = int((entry[0] - t0) * inv_w)
+            if idx >= nb:
+                idx = nb - 1
+            buckets[idx].append(entry)
+            self._ring_count += 1
+
+    def _advance(self) -> Optional[list]:
+        """Find, heapify, and activate the next non-empty bucket,
+        rebasing over quiet gaps; None when the wheel + far are empty."""
+        while True:
+            if self._ring_count == 0:
+                self._cur = None
+                if not self._far:
+                    return None
+                self._rebase()
+            buckets = self._buckets
+            nb = self._nb
+            cursor = self._cursor
+            while cursor < nb:
+                bucket = buckets[cursor]
+                if bucket:
+                    self._cursor = cursor
+                    heapify(bucket)
+                    self._cur = bucket
+                    return bucket
+                cursor += 1
+            self._cursor = cursor
+            if self._ring_count:  # pragma: no cover - defensive
+                raise SimulationError("calendar ring count out of sync")
+
+    def pop(self) -> tuple:
+        entry = self.pop_due(None)
+        if entry is None:
+            raise IndexError("pop from an empty calendar queue")
+        return entry
+
+    def pop_due(self, until: Optional[float]) -> Optional[tuple]:
+        """Pop the next entry, or None if the queue is empty or the next
+        entry fires after ``until`` (inclusive bound; None = no bound)."""
+        nowq = self._now
+        cur = self._cur
+        if cur is None:
+            cur = self._advance()
+        if cur is None:
+            if not nowq or (until is not None and nowq[0][0] > until):
+                return None
+            return nowq.popleft()
+        if nowq and nowq[0] <= cur[0]:
+            if until is not None and nowq[0][0] > until:
+                return None
+            return nowq.popleft()
+        if until is not None and cur[0][0] > until:
+            return None
+        entry = heappop(cur)
+        if not cur:
+            self._cur = None
+        self._ring_count -= 1
+        self._pops += 1
+        return entry
+
+    def pop_before(self, limit: float) -> Optional[tuple]:
+        """Pop the next entry strictly below ``limit``, else None."""
+        nowq = self._now
+        cur = self._cur
+        if cur is None:
+            cur = self._advance()
+        if cur is None:
+            if not nowq or nowq[0][0] >= limit:
+                return None
+            return nowq.popleft()
+        if nowq and nowq[0] <= cur[0]:
+            if nowq[0][0] >= limit:
+                return None
+            return nowq.popleft()
+        if cur[0][0] >= limit:
+            return None
+        entry = heappop(cur)
+        if not cur:
+            self._cur = None
+        self._ring_count -= 1
+        self._pops += 1
+        return entry
+
+    def peek_time(self) -> Optional[float]:
+        nowq = self._now
+        cur = self._cur
+        if cur is None:
+            cur = self._advance()
+        if cur is None:
+            return nowq[0][0] if nowq else None
+        if nowq and nowq[0] <= cur[0]:
+            return nowq[0][0]
+        return cur[0][0]
+
+
+def _make_scheduler(kernel: str):
+    if kernel == "calendar":
+        return _CalendarScheduler()
+    if kernel == "heap":
+        return _HeapScheduler()
+    raise SimulationError(
+        f"unknown sim kernel {kernel!r} (expected 'calendar' or 'heap')"
+    )
+
+
+class Simulation:
+    """The event loop.  Time is in (simulated) seconds.
+
+    ``kernel`` selects the event-queue implementation (``"calendar"``,
+    the default, or ``"heap"``, the reference oracle); both fire events
+    in the identical ``(time, seq)`` order.  The default can be steered
+    globally via the ``KEYPAD_SIM_KERNEL`` environment variable.
+    """
+
+    def __init__(self, kernel: Optional[str] = None) -> None:
+        if kernel is None:
+            kernel = os.environ.get(KERNEL_ENV, DEFAULT_KERNEL)
+        self.kernel = kernel
         self._now = 0.0
         self._seq = 0
-        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._q = q = _make_scheduler(kernel)
+        # Pre-bound scheduler methods: the dispatch loop and _schedule
+        # are the hottest call sites in the whole reproduction.
+        self._push = q.push
+        self._push_now = q.push_now
+        self._pop_due = q.pop_due
         self._crashed: Optional[tuple[Process, BaseException]] = None
 
     # -- time -------------------------------------------------------------
@@ -338,7 +721,19 @@ class Simulation:
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, delay: float, fn: Callable, *args: Any) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        if delay == 0.0:
+            self._push_now((self._now, self._seq, fn, args))
+        else:
+            self._push((self._now + delay, self._seq, fn, args))
+
+    def _schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Schedule at an absolute time (>= now); used by the shard
+        engine to inject cross-shard events at their arrival stamps."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self._now}"
+            )
+        self._schedule(when - self._now, fn, *args)
 
     def _crash(self, proc: Process, exc: BaseException) -> None:
         """Record an unhandled process failure; surfaced from :meth:`run`."""
@@ -348,7 +743,7 @@ class Simulation:
     # -- running ------------------------------------------------------------
     def _step(self) -> None:
         """Dispatch the single next event."""
-        time, _seq, fn, args = heapq.heappop(self._heap)
+        time, _seq, fn, args = self._q.pop()
         self._now = time
         fn(*args)
         if self._crashed is not None:
@@ -356,19 +751,52 @@ class Simulation:
             self._crashed = None
             raise exc
 
+    def peek_time(self) -> Optional[float]:
+        """The next event's timestamp, or None when the queue is empty."""
+        return self._q.peek_time()
+
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the event heap drains or ``until`` is reached.
+        """Run until the event queue drains or ``until`` is reached.
 
         Returns the final simulated time.  Re-raises the first unhandled
         process exception.
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        pop_due = self._pop_due
+        while True:
+            entry = pop_due(until)
+            if entry is None:
                 break
-            self._step()
+            self._now = entry[0]
+            entry[2](*entry[3])
+            if self._crashed is not None:
+                _proc, exc = self._crashed
+                self._crashed = None
+                raise exc
         if until is not None and until > self._now:
             self._now = until
         return self._now
+
+    def run_below(self, limit: float) -> Optional[float]:
+        """Dispatch every event with timestamp strictly below ``limit``.
+
+        The conservative shard engine's inner loop: a shard granted the
+        window ``[now, limit)`` processes exactly the events inside it.
+        Returns the next pending event time (>= ``limit``), or None when
+        the queue drained.  Does not advance ``now`` to ``limit`` — only
+        dispatched events move the clock, so a later grant (or injected
+        message) can still schedule inside the untouched remainder.
+        """
+        pop_before = self._q.pop_before
+        while True:
+            entry = pop_before(limit)
+            if entry is None:
+                return self._q.peek_time()
+            self._now = entry[0]
+            entry[2](*entry[3])
+            if self._crashed is not None:
+                _proc, exc = self._crashed
+                self._crashed = None
+                raise exc
 
     def run_until(self, waitable: Waitable) -> Any:
         """Run until ``waitable`` triggers; return (or raise) its value.
@@ -376,12 +804,19 @@ class Simulation:
         Unlike :meth:`run`, this tolerates daemon processes that never
         terminate (background purge threads, service loops).
         """
+        pop_due = self._pop_due
         while not waitable.triggered:
-            if not self._heap:
+            entry = pop_due(None)
+            if entry is None:
                 raise SimulationError(
                     f"deadlock: waiting on {waitable!r} with an empty event heap"
                 )
-            self._step()
+            self._now = entry[0]
+            entry[2](*entry[3])
+            if self._crashed is not None:
+                _proc, exc = self._crashed
+                self._crashed = None
+                raise exc
         if waitable.ok:
             return waitable.value
         raise waitable.value

@@ -11,11 +11,33 @@ from __future__ import annotations
 
 import hashlib
 import random
+from bisect import bisect_left
 from typing import Sequence, TypeVar
 
 T = TypeVar("T")
 
 __all__ = ["SimRandom"]
+
+# Cumulative Zipf weight tables keyed by (n, skew).  Deterministic pure
+# functions of their key (no random state), so sharing across streams
+# and simulations is safe.  Workloads draw from a handful of working-set
+# sizes, so the cache stays tiny even for million-device fleets.
+_ZIPF_CUM: dict[tuple[int, float], list[float]] = {}
+
+
+def _zipf_cum(n: int, skew: float) -> list[float]:
+    table = _ZIPF_CUM.get((n, skew))
+    if table is None:
+        # Sequential accumulation, identical to summing the weights
+        # left-to-right — bit-for-bit the totals the inline scan used.
+        acc = 0.0
+        table = []
+        append = table.append
+        for i in range(n):
+            acc += 1.0 / (i + 1) ** skew
+            append(acc)
+        _ZIPF_CUM[(n, skew)] = table
+    return table
 
 
 class SimRandom:
@@ -79,13 +101,10 @@ class SimRandom:
         """
         if n <= 0:
             raise ValueError("zipf_index needs n >= 1")
-        # Inverse-transform on the (truncated) Zipf CDF.
-        weights = [1.0 / (i + 1) ** skew for i in range(n)]
-        total = sum(weights)
-        target = self._rng.random() * total
-        acc = 0.0
-        for i, w in enumerate(weights):
-            acc += w
-            if target <= acc:
-                return i
-        return n - 1
+        # Inverse-transform on the (truncated) Zipf CDF.  bisect_left
+        # finds the first i with target <= cum[i] — the same index the
+        # original linear scan over per-draw weight lists returned.
+        cum = _zipf_cum(n, skew)
+        target = self._rng.random() * cum[-1]
+        i = bisect_left(cum, target)
+        return i if i < n else n - 1

@@ -28,6 +28,7 @@ request sequence byte for byte regardless of fleet size or host.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
@@ -225,9 +226,7 @@ class FleetDevice:
     # -- the closed loop ------------------------------------------------------
     def run(self, until: float) -> Generator:
         # Desynchronised start: spread arrivals over one think interval.
-        yield self.sim.timeout(
-            self.rand.uniform(0.0, self.profile.think_mean)
-        )
+        yield self.rand.uniform(0.0, self.profile.think_mean)
         while self.sim.now < until:
             audit_ids = self._pick_ids()
             ctx = None
@@ -253,7 +252,7 @@ class FleetDevice:
                 self.stats.completed += 1
                 self.stats.keys_served += len(audit_ids)
                 self.stats.latencies.append(self.sim.now - started)
-            yield self.sim.timeout(self._think())
+            yield self._think()
 
 
 @dataclass
@@ -381,6 +380,50 @@ def _derive_working_set(fleet_seed: bytes, index: int, count: int
     return pairs
 
 
+def _install_control(sim, net, seed, costs, service, group, frontends,
+                     events, control_log):
+    """Stand up the control plane and return the scripted-admin process
+    body.  Shared verbatim by the single-process and sharded runners so
+    the admin channel's traffic is identical in both."""
+    from repro.control.server import ControlServer
+    from repro.core.policy import KeypadConfig, PolicyEpoch
+    from repro.harness.runner import derive_arm_seed
+
+    # The fleet has no mounted FS; the policy epoch is the
+    # service-side source of truth the events reconfigure.
+    epoch = PolicyEpoch(KeypadConfig())
+    ctl = ControlServer(
+        sim, epoch,
+        key_services=() if service is None else (service,),
+        replica_group=group,
+        frontends=tuple(frontends),
+        name="fleet-ctl",
+        costs=costs,
+    )
+    admin_secret = derive_arm_seed(seed, "ctl-admin")
+    ctl.enroll_admin("fleet-admin", admin_secret)
+    ctl_link = net.make_link(sim, label="fleet-ctl")
+    channel = RpcChannel(sim, ctl_link, ctl.rpc, "fleet-admin",
+                         admin_secret, costs=costs)
+
+    def _admin() -> Generator:
+        for event in events:
+            if event.at > sim.now:
+                yield event.at - sim.now
+            entry = {"at": sim.now, "verb": event.verb}
+            try:
+                result = yield from channel.call(
+                    "ctl." + event.verb, **event.params
+                )
+            except (ControlError, KeypadError) as exc:
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+            else:
+                entry["result"] = result
+            control_log.append(entry)
+
+    return _admin()
+
+
 def run_fleet(
     devices: int = 100,
     duration: float = 30.0,
@@ -396,6 +439,7 @@ def run_fleet(
     audit_store: str = "flat",
     segment_entries: int = 1024,
     inspect: Optional[Callable] = None,
+    fleet_shards: Optional[int] = None,
 ) -> FleetResult:
     """Provision and drive a fleet; returns the measured result.
 
@@ -426,12 +470,41 @@ def run_fleet(
     the call frame, so this is the only supported way for benchmarks to
     examine server-side state (audit log contents, store stats, ...)
     once :func:`run_fleet` returns.
+
+    ``fleet_shards`` (or the ``KEYPAD_FLEET_SHARDS`` environment
+    variable, when the argument is None) partitions the simulated
+    *devices* across forked worker processes while the service stays in
+    this process; the returned tables are byte-identical at any shard
+    count.  See :mod:`repro.workloads.fleet_shard` for the
+    synchronization contract and the configurations that fall back to
+    the single-process path.
     """
     from repro.harness.runner import derive_arm_seed
 
     if devices < 1:
         raise ValueError("fleet needs at least one device")
     net = network or LAN
+
+    requested = fleet_shards
+    if requested is None:
+        requested = int(os.environ.get("KEYPAD_FLEET_SHARDS", "1") or "1")
+    n_shards = max(1, min(int(requested), devices))
+    if n_shards > 1:
+        from repro.workloads import fleet_shard
+
+        if fleet_shard.available(net, replicas=replicas):
+            return fleet_shard.run_fleet_sharded(
+                devices=devices, duration=duration, seed=seed,
+                scanner_fraction=scanner_fraction, network=net,
+                costs=costs, frontend=frontend, shards=shards,
+                control=control, audit_store=audit_store,
+                segment_entries=segment_entries, inspect=inspect,
+                n_shards=n_shards,
+            )
+        # Unsupported topology (replica cluster, zero-latency link, full
+        # wire mode): run single-process rather than fail — the result
+        # is identical either way.
+
     sim = Simulation()
     frontends: list = []
 
@@ -500,42 +573,11 @@ def run_fleet(
     control_log: list[dict] = []
     events = sorted(control or (), key=lambda e: (e.at, e.verb))
     if events:
-        from repro.control.server import ControlServer
-        from repro.core.policy import KeypadConfig, PolicyEpoch
-
-        # The fleet has no mounted FS; the policy epoch is the
-        # service-side source of truth the events reconfigure.
-        epoch = PolicyEpoch(KeypadConfig())
-        ctl = ControlServer(
-            sim, epoch,
-            key_services=() if service is None else (service,),
-            replica_group=group,
-            frontends=tuple(frontends),
-            name="fleet-ctl",
-            costs=costs,
-        )
-        admin_secret = derive_arm_seed(seed, "ctl-admin")
-        ctl.enroll_admin("fleet-admin", admin_secret)
-        ctl_link = net.make_link(sim, label="fleet-ctl")
-        channel = RpcChannel(sim, ctl_link, ctl.rpc, "fleet-admin",
-                             admin_secret, costs=costs)
-
-        def _admin() -> Generator:
-            for event in events:
-                if event.at > sim.now:
-                    yield sim.timeout(event.at - sim.now)
-                entry = {"at": sim.now, "verb": event.verb}
-                try:
-                    result = yield from channel.call(
-                        "ctl." + event.verb, **event.params
-                    )
-                except (ControlError, KeypadError) as exc:
-                    entry["error"] = f"{type(exc).__name__}: {exc}"
-                else:
-                    entry["result"] = result
-                control_log.append(entry)
-
-        procs.append(sim.process(_admin(), name="fleet-admin"))
+        procs.append(sim.process(
+            _install_control(sim, net, seed, costs, service, group,
+                             frontends, events, control_log),
+            name="fleet-admin",
+        ))
 
     sim.run_until(sim.all_of(procs))
 

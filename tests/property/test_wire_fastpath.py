@@ -1,0 +1,70 @@
+"""Fast-wire equivalences, held to the real codec under random payloads.
+
+The serial RPC fast path never builds wire bytes; it relies on two
+exact mirrors of the codec:
+
+* ``marshal_request_len`` / ``marshal_response_len`` — the byte length
+  of the message the codec *would* produce, computed tag-for-tag;
+* ``normalize_value`` — the semantic effect of a marshal/unmarshal
+  round-trip (tuples→lists, dict keys→str, whitespace-only→empty).
+
+If either mirror drifts from the codec, wire sizes (and so every
+latency and byte counter in the tables) silently diverge between fast
+and full mode — these properties pin them together.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.wire import (
+    marshal_request,
+    marshal_request_len,
+    marshal_response,
+    marshal_response_len,
+    normalize_value,
+    unmarshal,
+)
+
+_TEXT = st.text(alphabet=st.characters(codec="utf-8"), max_size=40)
+
+_SCALAR = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 80), max_value=2 ** 80),
+    st.floats(allow_nan=False, allow_infinity=False),
+    _TEXT,
+    st.binary(max_size=64),
+)
+
+_VALUE = st.recursive(
+    _SCALAR,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(_TEXT, children, max_size=4),
+        st.dictionaries(st.integers(-99, 99), children, max_size=3),
+    ),
+    max_leaves=14,
+)
+
+_PARAMS = st.dictionaries(_TEXT, _VALUE, max_size=4)
+
+
+@settings(max_examples=150, deadline=None)
+@given(method=_TEXT, params=_PARAMS)
+def test_request_len_matches_codec(method, params):
+    assert marshal_request_len(method, params) == \
+        len(marshal_request(method, params))
+
+
+@settings(max_examples=150, deadline=None)
+@given(payload=_VALUE)
+def test_response_len_matches_codec(payload):
+    assert marshal_response_len(payload) == len(marshal_response(payload))
+
+
+@settings(max_examples=150, deadline=None)
+@given(payload=_VALUE)
+def test_normalize_matches_roundtrip(payload):
+    assert normalize_value(payload) == \
+        unmarshal(marshal_response(payload)).payload

@@ -148,10 +148,65 @@ def test_yielding_non_waitable_is_an_error():
     sim = Simulation()
 
     def bad():
-        yield 42
+        yield "nope"
 
     with pytest.raises(SimulationError):
         sim.run_process(bad())
+
+
+def test_yielding_negative_delay_is_an_error():
+    sim = Simulation()
+
+    def bad():
+        yield -1.0
+
+    with pytest.raises(SimulationError):
+        sim.run_process(bad())
+
+
+def test_bare_delay_sleep_matches_timeout():
+    """`yield d` sleeps exactly like `yield sim.timeout(d)`."""
+    sim = Simulation()
+    trace = []
+
+    def sleeper(delay, label):
+        yield delay
+        trace.append((label, sim.now))
+        yield sim.timeout(delay)
+        trace.append((label + "'", sim.now))
+
+    sim.process(sleeper(1.0, "a"))
+    sim.process(sleeper(0.5, "b"))
+    sim.process(sleeper(0.0, "c"))
+    sim.run()
+    # At t=1.0 "a"'s wakeup (scheduled at t=0) precedes "b'"'s
+    # (scheduled at t=0.5) — the same-instant FIFO rule, exactly as if
+    # both had used sim.timeout().
+    assert trace == [("c", 0.0), ("c'", 0.0), ("b", 0.5), ("a", 1.0),
+                     ("b'", 1.0), ("a'", 2.0)]
+
+
+def test_interrupt_cancels_bare_delay_sleep():
+    sim = Simulation()
+
+    def sleeper():
+        try:
+            yield 100.0
+        except Interrupt as exc:
+            # Sleep again after the interrupt: the stale wakeup from the
+            # first sleep must not resume us early.
+            yield 5.0
+            return ("interrupted", sim.now, exc.cause)
+
+    proc = sim.process(sleeper())
+
+    def interrupter():
+        yield 3.0
+        proc.interrupt("now")
+
+    sim.process(interrupter())
+    sim.run()
+    assert proc.value == ("interrupted", 8.0, "now")
 
 
 def test_interrupt_wakes_sleeping_process():
