@@ -43,6 +43,9 @@ from repro.auditstore import (
     AppendOnlyLog,
     AuditSegment,
     AuditViews,
+    BlobImage,
+    DurableAuditStore,
+    FLUSH_POLICIES,
     LogEntry,
     SegmentedAuditStore,
     ShardedLog,
@@ -71,6 +74,7 @@ from repro.cluster.merge import ClusterAuditLog
 from repro.cluster.replica import ReplicaGroup
 from repro.costmodel import DEFAULT_COSTS, CostModel
 from repro.errors import (
+    AuditRecoveryError,
     AuthorizationError,
     ConfigError,
     ControlError,
@@ -110,9 +114,12 @@ from repro.server import ServiceFrontend
 from repro.sim import Simulation
 from repro.storage.backend import (
     BACKENDS,
+    BlobNamespace,
+    BlobStore,
     StorageBackend,
     StorageStack,
     make_backend,
+    volume_contents,
 )
 from repro.workloads.fleet import (
     ControlEvent,
@@ -166,6 +173,10 @@ __all__ = [
     "SegmentedAuditStore",
     "AuditSegment",
     "AuditViews",
+    # durable audit store (segment spill + crash recovery)
+    "DurableAuditStore",
+    "BlobImage",
+    "FLUSH_POLICIES",
     # fleet scale
     "run_fleet",
     "FleetResult",
@@ -182,6 +193,9 @@ __all__ = [
     "StorageStack",
     "BACKENDS",
     "make_backend",
+    "BlobStore",
+    "BlobNamespace",
+    "volume_contents",
     # networks
     "NetEnv",
     "Link",
@@ -207,4 +221,5 @@ __all__ = [
     "LockedFileError",
     "ConfigError",
     "ControlError",
+    "AuditRecoveryError",
 ]

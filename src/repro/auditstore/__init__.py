@@ -14,6 +14,15 @@ Select the segmented store with
 the paper-faithful flat log.
 """
 
+from repro.costmodel import DEFAULT_COSTS
+
+from .codec import (
+    decode_checkpoint,
+    decode_segment,
+    encode_checkpoint,
+    encode_segment,
+)
+from .durable import FLUSH_POLICIES, BlobImage, DurableAuditStore
 from .log import (
     DISCLOSING_KINDS,
     GENESIS_HASH,
@@ -29,11 +38,18 @@ __all__ = [
     "AppendOnlyLog",
     "AuditSegment",
     "AuditViews",
+    "BlobImage",
     "DISCLOSING_KINDS",
+    "DurableAuditStore",
+    "FLUSH_POLICIES",
     "GENESIS_HASH",
     "LogEntry",
     "SegmentedAuditStore",
     "ShardedLog",
+    "decode_checkpoint",
+    "decode_segment",
+    "encode_checkpoint",
+    "encode_segment",
     "entry_digest",
 ]
 
@@ -45,6 +61,11 @@ def make_audit_log(
     router=None,
     segment_entries: int = 1024,
     auto_compact: bool = True,
+    durable: bool = False,
+    blobs=None,
+    flush_policy: str = "every-seal",
+    flush_every: int = 64,
+    costs=DEFAULT_COSTS,
 ):
     """Build the audit log a service should write to.
 
@@ -53,13 +74,31 @@ def make_audit_log(
     ``store="segmented"`` returns a ``SegmentedAuditStore`` — one
     global store regardless of ``shards``, since group-committed
     segments subsume the per-shard chain trick without changing any
-    simulated-time behavior.
+    simulated-time behavior.  ``durable=True`` (segmented only) wraps
+    the store in a :class:`DurableAuditStore` spilling into ``blobs``
+    (a ``BlobStore``/``BlobNamespace``) on ``flush_policy``.
     """
+    if durable and store != "segmented":
+        raise ValueError(
+            f"durable audit stores require store='segmented', "
+            f"not {store!r}"
+        )
     if store == "segmented":
-        return SegmentedAuditStore(
+        inner = SegmentedAuditStore(
             name=name,
             segment_entries=segment_entries,
             auto_compact=auto_compact,
+        )
+        if not durable:
+            return inner
+        if blobs is None:
+            raise ValueError("a durable audit store needs a blob namespace")
+        return DurableAuditStore(
+            inner,
+            blobs,
+            costs=costs,
+            flush_policy=flush_policy,
+            flush_every=flush_every,
         )
     if store != "flat":
         raise ValueError(f"unknown audit store {store!r}")

@@ -201,6 +201,68 @@ class SegmentedAuditStore:
         self.seals = 0
         self.compactions = 0
 
+    @classmethod
+    def restore(
+        cls,
+        segments: list[AuditSegment],
+        name: str = "audit",
+        segment_entries: int = 1024,
+        auto_compact: bool = True,
+    ) -> "SegmentedAuditStore":
+        """Rebuild a store around already-decoded segments (recovery).
+
+        Unlike appends, restore installs the segments as-is: no view
+        ingestion happens here (the recovering caller either replays a
+        checkpointed snapshot plus the tail, or rebuilds from scratch),
+        and no chain math is re-run — callers MUST follow up with
+        :meth:`verify_chain` before trusting the result.  If the last
+        segment arrives sealed, a fresh empty active segment is opened
+        so the store can keep appending.
+        """
+        if not segments:
+            raise ValueError("restore needs at least one segment")
+        for i, segment in enumerate(segments):
+            if segment.index != i:
+                raise ValueError(
+                    f"segment at position {i} has index {segment.index}"
+                )
+            if i < len(segments) - 1 and not segment.sealed:
+                raise ValueError(
+                    f"interior segment {i} is unsealed; only the last "
+                    "segment may be an active tail"
+                )
+        store = cls.__new__(cls)
+        store.name = name
+        store.segment_entries = max(2, int(segment_entries))
+        store.auto_compact = auto_compact
+        store.segments = list(segments)
+        last = store.segments[-1]
+        store._count = last.base_sequence + len(last)
+        store._last_hash = last.last_hash
+        sealed = [s for s in store.segments if s.sealed]
+        store._last_seal = sealed[-1].seal_hash if sealed else GENESIS_HASH
+        if last.sealed:
+            store.segments.append(
+                AuditSegment(
+                    index=last.index + 1,
+                    base_sequence=store._count,
+                    base_hash=store._last_hash,
+                )
+            )
+        store.views = AuditViews(store)
+        # Lifetime counters restart from what the segments show; the
+        # pre-crash totals died with the process and recovery stats say
+        # so explicitly.
+        store.appends = store._count
+        store.group_commits = 0
+        store.seals = len(sealed)
+        store.compactions = 0
+        if auto_compact:
+            for segment in sealed:
+                if segment.compact():
+                    store.compactions += 1
+        return store
+
     # -- write side -------------------------------------------------
 
     @property

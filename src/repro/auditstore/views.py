@@ -102,6 +102,40 @@ class AuditViews:
         self.rebuilds += 1
         return self.ingested
 
+    # -- checkpointing (the durable store's view snapshots) ----------
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Copy out every projection for serialization.
+
+        The caller pairs this with the log position it was taken at
+        (count + bound chain hash); the views themselves hold only
+        sequence references, so the snapshot is small relative to the
+        log it summarises.
+        """
+        return {
+            "timeline": {d: list(s) for d, s in self._timeline.items()},
+            "file_access": {
+                a: list(s) for a, s in self._file_access.items()
+            },
+            "window": list(self._window),
+            "ingested": self.ingested,
+            "out_of_order": self.out_of_order,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Replace every projection with a checkpointed snapshot.
+
+        Recovery then re-ingests only the tail past the checkpoint's
+        watermark instead of replaying the whole log.
+        """
+        self._timeline = {d: list(s) for d, s in state["timeline"].items()}
+        self._file_access = {
+            bytes(a): list(s) for a, s in state["file_access"].items()
+        }
+        self._window = [(float(t), int(s)) for t, s in state["window"]]
+        self.ingested = int(state["ingested"])
+        self.out_of_order = int(state["out_of_order"])
+
     # -- queries (each must equal the raw-log scan) ------------------
 
     def _materialize(self, sequences: list[int]) -> list[LogEntry]:

@@ -168,11 +168,155 @@ def _entry_keys(entries) -> list[tuple[int, bytes]]:
     return [(e.sequence, e.chain_hash) for e in entries]
 
 
+def _forensics_export_image(args: argparse.Namespace) -> int:
+    """Run the stolen-device demo with a *durable* audit store and
+    write its spilled blobs to a directory — the seized-disk input
+    ``forensics --recover`` consumes."""
+    import os
+
+    from repro.api import THREE_G, KeypadConfig
+    from repro.harness import build_keypad_rig
+
+    config = (
+        KeypadConfig.builder(
+            KeypadConfig(texp=args.texp, prefetch="dir:3", ibe_enabled=True)
+        )
+        .audit_store("segmented", segment_entries=4, durable=True,
+                     flush_policy="every-append")
+        .build()
+    )
+    rig = build_keypad_rig(network=THREE_G, config=config)
+
+    def owner():
+        yield from rig.fs.mkdir("/home")
+        for name in ("medical.txt", "taxes.pdf", "notes.md"):
+            yield from rig.fs.create(f"/home/{name}")
+            yield from rig.fs.write(f"/home/{name}", 0, b"confidential")
+        yield rig.sim.timeout(600.0)
+
+    rig.run(owner())
+    t_loss = rig.sim.now
+
+    def thief():
+        yield from rig.fs.read("/home/taxes.pdf", 0, 12)
+
+    rig.run(thief())
+    rig.key_service.audit_checkpoint()
+
+    stack = rig.extras["backend"]
+    namespace = stack.blobs.namespace(rig.key_service.audit_namespace)
+    os.makedirs(args.export_image, exist_ok=True)
+    for name in sorted(namespace.names()):
+        with open(os.path.join(args.export_image, name), "wb") as handle:
+            handle.write(namespace.get(name))
+    print(f"wrote {len(namespace)} audit blob(s) to {args.export_image} "
+          f"(tloss={t_loss:.3f}); recover with:\n"
+          f"  keypad-audit forensics --recover {args.export_image} "
+          f"--segment-entries 4 --tloss {t_loss:.3f}")
+    return 0
+
+
+def _forensics_recover(args: argparse.Namespace) -> int:
+    """Rebuild the audit log and its views from serialized segment
+    blobs alone (a directory written by ``--export-image`` or pulled
+    off a seized server disk), re-verify the seal chain, and reconcile
+    every view answer against the recovered raw log.  Exit 2 on chain
+    breaks or any view/scan disagreement."""
+    import os
+
+    from repro.auditstore import BlobImage, DurableAuditStore
+    from repro.auditstore.log import DISCLOSING_KINDS
+    from repro.errors import AuditRecoveryError
+
+    image: dict[str, bytes] = {}
+    for entry in sorted(os.listdir(args.recover)):
+        path = os.path.join(args.recover, entry)
+        if os.path.isfile(path):
+            with open(path, "rb") as handle:
+                image[entry] = handle.read()
+    if not image:
+        print(f"keypad-audit: no blobs found in {args.recover}",
+              file=sys.stderr)
+        return 1
+
+    try:
+        store = DurableAuditStore.recover(
+            BlobImage(image),
+            name=args.name,
+            segment_entries=args.segment_entries,
+        )
+    except AuditRecoveryError as exc:
+        print(f"RECOVERY FAILED: {exc}", file=sys.stderr)
+        return 2
+
+    stats = store.recovery
+    if stats["checkpoint_used"]:
+        checkpoint = f"used (upto {stats['checkpoint_upto']})"
+    elif stats["checkpoint_discarded"] is not None:
+        checkpoint = f"discarded ({stats['checkpoint_discarded']})"
+    else:
+        checkpoint = "absent"
+    print(f"recovered {stats['recovered_entries']} entries from "
+          f"{stats['sealed_segments']} sealed segment(s) + "
+          f"{stats['tail_entries']} tail entries "
+          f"(tail {stats['tail_state']}, checkpoint {checkpoint})")
+
+    if not store.verify_chain():
+        print("RECOVERY FAILED: the recovered seal chain does not "
+              "verify", file=sys.stderr)
+        return 2
+
+    views = store.views
+    mismatches = 0
+    t_loss = args.tloss
+    if t_loss is None:
+        entries = store.entries()
+        t_loss = entries[-1].timestamp if entries else 0.0
+    window_start = t_loss - args.texp
+
+    for device in views.devices():
+        view_answer = views.device_timeline(device, since=window_start)
+        scan_answer = store.entries(since=window_start, device_id=device)
+        if _entry_keys(view_answer) != _entry_keys(scan_answer):
+            mismatches += 1
+            print(f"MISMATCH [timeline:{device}]: view answered "
+                  f"{len(view_answer)}, raw scan {len(scan_answer)}",
+                  file=sys.stderr)
+        print(f"timeline {device}: {len(view_answer)} entries in window")
+    post_theft = views.accesses_after(window_start)
+    scan_answer = [
+        e for e in store.entries(since=window_start)
+        if e.kind in DISCLOSING_KINDS
+    ]
+    if _entry_keys(post_theft) != _entry_keys(scan_answer):
+        mismatches += 1
+        print(f"MISMATCH [post-theft]: view answered {len(post_theft)}, "
+              f"raw scan {len(scan_answer)}", file=sys.stderr)
+    print(f"post-theft window (since {window_start:.3f}): "
+          f"{len(post_theft)} disclosing accesses")
+    for entry in post_theft[:args.limit]:
+        print(f"  [{entry.timestamp:10.3f}] {entry.device_id:<12} "
+              f"{entry.kind}")
+
+    if mismatches:
+        print(f"RECONCILIATION FAILED: {mismatches} view/scan "
+              f"mismatch(es)", file=sys.stderr)
+        return 2
+    print("recovered log chain intact; every rebuilt view answer "
+          "matches the recovered raw scan")
+    return 0
+
+
 def _cmd_forensics(args: argparse.Namespace) -> int:
     """Answer forensic queries from the materialized views, then
     reconcile every answer against the raw-log scan (exit 2 on any
     disagreement — same contract as ``trace --check``)."""
     from repro.auditstore.log import DISCLOSING_KINDS
+
+    if args.export_image is not None:
+        return _forensics_export_image(args)
+    if args.recover is not None:
+        return _forensics_recover(args)
 
     if args.bundle is not None:
         if args.tloss is None:
@@ -625,6 +769,20 @@ def build_parser() -> argparse.ArgumentParser:
     forensics.add_argument("--limit", type=int, default=20,
                            help="max entries printed per answer "
                                 "(default 20)")
+    forensics.add_argument("--recover", default=None, metavar="DIR",
+                           help="rebuild log + views from serialized "
+                                "segment blobs in DIR alone (exit 2 on "
+                                "chain breaks)")
+    forensics.add_argument("--export-image", default=None, metavar="DIR",
+                           help="run the durable stolen-device demo and "
+                                "write its audit blobs to DIR for "
+                                "--recover")
+    forensics.add_argument("--name", default="key-access",
+                           help="audit log name for --recover "
+                                "(default key-access)")
+    forensics.add_argument("--segment-entries", type=int, default=1024,
+                           help="segment capacity for --recover "
+                                "(default 1024)")
     forensics.set_defaults(func=_cmd_forensics)
 
     cluster = sub.add_parser(

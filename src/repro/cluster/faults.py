@@ -35,8 +35,12 @@ __all__ = ["FaultEvent", "FaultPlan", "FaultInjector", "ACTIONS"]
 
 #: Every action the injector understands.  ``partition`` takes a
 #: comma-separated list of link targets and downs them together.
+#: ``crash`` is a transient outage (state survives, auto-revert just
+#: resumes serving); ``kill`` is process death — the revert runs real
+#: audit recovery from the replica's spilled blobs.
 ACTIONS = (
     "crash", "recover",
+    "kill", "restart",
     "link-down", "link-up", "sever",
     "delay", "jitter",
     "partition",
@@ -115,6 +119,12 @@ class FaultPlan:
     @classmethod
     def replica_crash(cls, index: int, at: float, duration: float) -> "FaultPlan":
         return cls([FaultEvent(at, "crash", f"replica:{index}", duration)])
+
+    @classmethod
+    def replica_kill(cls, index: int, at: float, duration: float) -> "FaultPlan":
+        """Process death at ``at``; restart + audit recovery after
+        ``duration`` seconds."""
+        return cls([FaultEvent(at, "kill", f"replica:{index}", duration)])
 
     @classmethod
     def random_outages(
@@ -228,6 +238,18 @@ class FaultInjector:
             index = self._replica_index(target)
             self.group.recover(index)
             self._record(f"recover {target}")
+        elif action == "kill":
+            index = self._replica_index(target)
+            entries = self.group.kill(index)
+            self._record(f"kill {target} entries={entries}")
+        elif action == "restart":
+            index = self._replica_index(target)
+            stats = self.group.restart(index)
+            self._record(
+                f"restart {target} "
+                f"recovered={stats.get('recovered_entries')} "
+                f"lost={stats.get('lost_entries')}"
+            )
         elif action == "link-down":
             self._link(self._split(target)[1]).set_down()
             self._record(f"down {target}")
@@ -257,6 +279,13 @@ class FaultInjector:
         if action == "crash":
             self.group.recover(self._replica_index(target))
             self._record(f"recover {target}")
+        elif action == "kill":
+            stats = self.group.restart(self._replica_index(target))
+            self._record(
+                f"restart {target} "
+                f"recovered={stats.get('recovered_entries')} "
+                f"lost={stats.get('lost_entries')}"
+            )
         elif action == "link-down":
             self._link(self._split(target)[1]).set_up()
             self._record(f"up {target}")

@@ -18,7 +18,15 @@ records when their stories disagree:
   k threshold replicas ever logged it, which a correct client cannot
   produce (a fetch completes only after k replicas durably logged);
 * ``revocation-divergence`` — some replicas consider the device
-  revoked and others do not.
+  revoked and others do not;
+* ``stale-recovery`` — a replica came back from a crash+restart with
+  fewer entries than it held at death (its unflushed tail was lost),
+  so its log is an honest but *stale* witness.  The k-1 other replicas
+  still hold the missing records — this is the real scenario the
+  shrink-triggered incremental-merge rebuild exists for: a restarted
+  replica's log is shorter than the merge's high-water mark, the cache
+  is replayed from scratch, and the loss is *named* here rather than
+  silently papered over.
 
 A healthy run — even one with a crashed replica, since k live replicas
 still log every completed read — merges with **zero** divergences;
@@ -71,7 +79,8 @@ class MergedAccess:
 class Divergence:
     """A disagreement between replica audit logs."""
 
-    kind: str                   # chain-broken | under-replicated | revocation-divergence
+    kind: str                   # chain-broken | under-replicated |
+                                # revocation-divergence | stale-recovery
     detail: str
     replica_indices: tuple[int, ...] = ()
     audit_id: Optional[bytes] = None
@@ -230,6 +239,19 @@ class ClusterAuditLog:
                         "chain-broken",
                         f"replica {index} audit-log hash chain fails "
                         "verification",
+                        replica_indices=(index,),
+                    )
+                )
+        for index, replica in enumerate(self.replicas):
+            stats = getattr(replica, "recovery_stats", None)
+            if stats and stats.get("lost_entries"):
+                out.append(
+                    Divergence(
+                        "stale-recovery",
+                        f"replica {index} restarted missing "
+                        f"{stats['lost_entries']} audit entries "
+                        f"(recovered {stats.get('recovered_entries')} of "
+                        f"{stats.get('entries_before')} held at death)",
                         replica_indices=(index,),
                     )
                 )

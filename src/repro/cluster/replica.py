@@ -36,6 +36,11 @@ class ReplicaGroup:
         audit_store: str = "flat",
         segment_entries: int = 1024,
         auto_compact: bool = True,
+        audit_durable: bool = False,
+        audit_flush_policy: str = "every-seal",
+        audit_flush_every: int = 64,
+        audit_checkpoint_every: int = 0,
+        audit_blobs=None,
     ):
         if not 1 <= k <= m:
             raise ValueError(f"need 1 <= k <= m, got k={k} m={m}")
@@ -52,6 +57,18 @@ class ReplicaGroup:
                 audit_store=audit_store,
                 segment_entries=segment_entries,
                 auto_compact=auto_compact,
+                audit_durable=audit_durable,
+                audit_flush_policy=audit_flush_policy,
+                audit_flush_every=audit_flush_every,
+                audit_checkpoint_every=audit_checkpoint_every,
+                # Each replica spills into its own namespace on the
+                # shared store (audit/key-replica-<i>/...).
+                audit_blobs=(
+                    audit_blobs.namespace(f"audit/key-replica-{i}")
+                    if audit_blobs is not None
+                    and hasattr(audit_blobs, "namespace")
+                    else audit_blobs
+                ),
             )
             for i in range(m)
         ]
@@ -92,8 +109,37 @@ class ReplicaGroup:
         return sum(1 for r in self.replicas if r.server.available)
 
     def crash(self, index: int) -> None:
-        """Test/fault hook: take one replica's server down."""
+        """Test/fault hook: take one replica's server down.
+
+        A *transient* outage (network flap, overload) — in-process
+        state survives and :meth:`recover` simply resumes serving.
+        For process death with audit-log loss, use :meth:`kill`.
+        """
         self.replicas[index].server.available = False
 
     def recover(self, index: int) -> None:
         self.replicas[index].server.available = True
+
+    def kill(self, index: int) -> int:
+        """Fault hook: process death for one replica.
+
+        Unlike :meth:`crash`, the replica's in-memory audit state dies
+        with it; :meth:`restart` runs real recovery from the spilled
+        blobs.  Returns the audit entry count at death.
+        """
+        return self.replicas[index].crash()
+
+    def restart(self, index: int) -> dict:
+        """Bring a killed replica back through audit recovery.
+
+        Returns the replica's recovery stats; raises
+        :class:`~repro.errors.AuditRecoveryError` (leaving the replica
+        unavailable) if its spilled log fails verification.
+        """
+        return self.replicas[index].restart()
+
+    def recovery_stats(self) -> list:
+        """Each replica's last recovery outcome (``None`` if never
+        restarted) — surfaced by ``ctl.audit_stats`` and consumed by
+        the merge layer's divergence report."""
+        return [r.recovery_stats for r in self.replicas]

@@ -115,3 +115,17 @@ class ControlClient:
         params = {} if index is None else {"index": int(index)}
         result = yield from self.channel.call("ctl.audit_rebuild", **params)
         return result
+
+    def audit_checkpoint(self, index: Optional[int] = None) -> Generator:
+        """Persist a view checkpoint (durable stores only)."""
+        params = {} if index is None else {"index": int(index)}
+        result = yield from self.channel.call("ctl.audit_checkpoint",
+                                              **params)
+        return result
+
+    def audit_recover(self, index: Optional[int] = None) -> Generator:
+        """Restart crashed services through audit recovery; on healthy
+        durable services, a read-only recovery drill."""
+        params = {} if index is None else {"index": int(index)}
+        result = yield from self.channel.call("ctl.audit_recover", **params)
+        return result

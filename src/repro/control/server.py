@@ -23,12 +23,12 @@ from typing import Any, Generator, Optional
 
 from repro.costmodel import DEFAULT_COSTS, CostModel
 from repro.crypto.hmac import hmac_sha256
-from repro.errors import ConfigError, ControlError
+from repro.errors import AuditRecoveryError, ConfigError, ControlError
 from repro.net.netem import LAN, NetEnv
 from repro.net.rpc import RpcChannel, RpcServer
 from repro.core.policy import RUNTIME_MUTABLE, PolicyEpoch
 from repro.sim import Simulation
-from repro.storage.backend import make_backend, volume_is_empty
+from repro.storage.backend import make_backend, volume_contents
 from repro.util.paths import normalize
 
 __all__ = ["ControlServer", "open_control"]
@@ -106,6 +106,8 @@ class ControlServer:
             ("ctl.audit_stats", self._audit_stats),
             ("ctl.audit_seal", self._audit_seal),
             ("ctl.audit_rebuild", self._audit_rebuild),
+            ("ctl.audit_checkpoint", self._audit_checkpoint),
+            ("ctl.audit_recover", self._audit_recover),
         ):
             self.rpc.register(verb, _verb(handler))
 
@@ -277,7 +279,14 @@ class ControlServer:
         return {"admitted": len(targets)}
 
     def _swap_backend(self, device_id: str, payload: dict) -> Generator:
-        """Hot-swap the lower storage backend of an *empty* volume."""
+        """Hot-swap the lower storage backend of an *empty* volume.
+
+        "Empty" means the whole volume, not just ``readdir("/")``: the
+        blob namespace — where a durable audit store spills sealed
+        segments — must be empty too, and the refusal names exactly
+        what is still present so the operator knows what a swap would
+        silently strand.
+        """
         name = str(payload["backend"])
         if self.fs is None or self.rig is None:
             raise ControlError("swap_backend needs an attached rig")
@@ -285,11 +294,17 @@ class ControlServer:
         current = self.policy.config.storage_backend
         if name == current:
             return {"backend": name, "unchanged": True}
-        empty = yield from volume_is_empty(self.fs.lower)
-        if not empty:
+        old_stack = self.rig.extras.get("backend")
+        blobs = getattr(old_stack, "blobs", None)
+        present = yield from volume_contents(self.fs.lower, blobs)
+        if present:
+            shown = ", ".join(repr(p) for p in present[:8])
+            if len(present) > 8:
+                shown += f", … ({len(present) - 8} more)"
             raise ControlError(
                 f"cannot swap backend {current!r} -> {name!r}: the "
-                "volume is not empty (swaps do not migrate data)"
+                f"volume is not empty (swaps do not migrate data); "
+                f"still present: {shown}"
             )
         n_blocks = (
             self.rig.device.n_blocks if self.rig.device is not None
@@ -301,6 +316,12 @@ class ControlServer:
         self.rig.device = stack.device
         self.rig.cache = stack.cache
         self.rig.extras["backend"] = stack
+        # Durable audit stores follow the volume: re-point each
+        # service's namespace at the new stack's blob store (legal
+        # precisely because the precondition proved nothing spilled).
+        for service in self.key_services:
+            if getattr(service, "audit_durable", False):
+                service.rebind_audit_blobs(stack.blobs)
         self.policy.replace_config(
             replace(self.policy.config, storage_backend=name)
         )
@@ -351,22 +372,31 @@ class ControlServer:
         return [(index, self.key_services[index])]
 
     def _audit_stats(self, device_id: str, payload: dict) -> dict:
-        """Per-service audit-store and view statistics (read-only)."""
+        """Per-service audit-store and view statistics (read-only).
+
+        Durable stores report their flush/spill state and, after a
+        restart, the recovery outcome — including ``lost_entries``, so
+        a crash-truncated tail is *visible* here, never silent.
+        """
         services = []
         for index, service in self._audit_targets(payload):
             log = service.access_log
             stats = getattr(log, "stats", None)
             if stats is not None:
-                services.append({"index": index, **stats()})
+                entry = {"index": index, **stats()}
             else:
                 shards = getattr(log, "shards", None)
-                services.append({
+                entry = {
                     "index": index,
                     "store": "flat",
                     "name": log.name,
                     "entries": len(log),
                     "shards": len(shards) if isinstance(shards, list) else 1,
-                })
+                }
+            recovery = getattr(service, "recovery_stats", None)
+            if recovery is not None:
+                entry["recovery"] = dict(recovery)
+            services.append(entry)
         return {"at": self.sim.now, "services": services}
 
     def _audit_seal(self, device_id: str, payload: dict) -> dict:
@@ -396,6 +426,50 @@ class ControlServer:
             rebuilt.append({"index": index, "entries": views.rebuild()})
         self._note("audit_rebuild", count=len(rebuilt))
         return {"rebuilt": rebuilt}
+
+    def _audit_checkpoint(self, device_id: str, payload: dict) -> Generator:
+        """Persist a view checkpoint on durable stores
+        (``ctl.audit_checkpoint``); the flush cost is charged here, on
+        the admin call's timeline."""
+        out = []
+        for index, service in self._audit_targets(payload):
+            if not hasattr(service, "audit_checkpoint"):
+                raise ControlError(
+                    f"service {index} has no durable audit store"
+                )
+            upto = service.audit_checkpoint()  # ConfigError -> ControlError
+            yield from service._audit_sync()
+            out.append({"index": index, "upto": upto})
+        self._note("audit_checkpoint", count=len(out))
+        return {"checkpoints": out}
+
+    def _audit_recover(self, device_id: str, payload: dict) -> dict:
+        """Recover crashed services from their spilled blobs — or, on
+        healthy durable services, run a read-only recovery drill
+        proving the blobs would recover.  A failed recovery crosses
+        the wire as :class:`ControlError` and the service stays
+        unavailable."""
+        out = []
+        for index, service in self._audit_targets(payload):
+            if getattr(service, "_crashed", False):
+                try:
+                    stats = service.restart()
+                except AuditRecoveryError as exc:
+                    raise ControlError(
+                        f"service {index} audit recovery failed "
+                        f"(service stays down): {exc}"
+                    ) from None
+                out.append({"index": index, "mode": "restart", **stats})
+            else:
+                try:
+                    stats = service.recover_drill()
+                except AuditRecoveryError as exc:
+                    raise ControlError(
+                        f"service {index} recovery drill failed: {exc}"
+                    ) from None
+                out.append({"index": index, "mode": "drill", **stats})
+        self._note("audit_recover", count=len(out))
+        return {"recovered": out}
 
     def _metrics(self, device_id: str, payload: dict) -> dict:
         """Live counters: channels, frontends, key cache, trace."""

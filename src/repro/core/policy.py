@@ -183,6 +183,18 @@ class KeypadConfig:
     audit_segment_entries: int = 1024
     # Compact segments to their packed form as soon as they seal.
     audit_auto_compact: bool = True
+    # Persist the audit store through the storage backend's blob
+    # namespace (segmented only): sealed segments spill as write-once
+    # blobs and the active tail group-commits on the flush policy.
+    # Mount-frozen, like the store itself.
+    audit_durable: bool = False
+    # 'every-append' | 'every-seal' | 'every-n' (see docs/AUDITSTORE.md).
+    audit_flush_policy: str = "every-seal"
+    # Appends between tail flushes under 'every-n'.
+    audit_flush_every: int = 64
+    # Appends between automatic view checkpoints (0 = manual only,
+    # via ctl.audit_checkpoint).
+    audit_checkpoint_every: int = 0
 
     def coverage(self) -> Callable[[str], bool]:
         return coverage_for_prefixes(self.protected_prefixes)
@@ -338,16 +350,28 @@ class KeypadConfigBuilder:
         store: str = "segmented",
         segment_entries: int = 1024,
         auto_compact: bool = True,
+        durable: bool = False,
+        flush_policy: str = "every-seal",
+        flush_every: int = 64,
+        checkpoint_every: int = 0,
     ) -> "KeypadConfigBuilder":
         """Select the audit-store engine (see docs/AUDITSTORE.md):
         ``'flat'`` (the paper's append-only log, the default) or
         ``'segmented'`` (event-sourced segments + materialized forensic
-        views)."""
+        views).  ``durable=True`` (segmented only) spills the store
+        through the storage backend's blob namespace and enables crash
+        recovery; ``flush_policy``/``flush_every`` set the group-commit
+        cadence and ``checkpoint_every`` the automatic view-checkpoint
+        interval."""
         self._config = replace(
             self._config,
             audit_store=store,
             audit_segment_entries=segment_entries,
             audit_auto_compact=auto_compact,
+            audit_durable=durable,
+            audit_flush_policy=flush_policy,
+            audit_flush_every=flush_every,
+            audit_checkpoint_every=checkpoint_every,
         )
         return self
 
@@ -498,6 +522,28 @@ def validate_config(config: KeypadConfig) -> KeypadConfig:
         raise ConfigError(
             f"audit_segment_entries must be >= 2, "
             f"got {config.audit_segment_entries!r}"
+        )
+    if config.audit_durable and config.audit_store != "segmented":
+        raise ConfigError(
+            "audit_durable=True requires audit_store='segmented' "
+            f"(got {config.audit_store!r})"
+        )
+    if config.audit_flush_policy not in (
+        "every-append", "every-seal", "every-n"
+    ):
+        raise ConfigError(
+            f"audit_flush_policy must be 'every-append', 'every-seal', "
+            f"or 'every-n', got {config.audit_flush_policy!r}"
+        )
+    if config.audit_flush_every < 1:
+        raise ConfigError(
+            f"audit_flush_every must be >= 1, "
+            f"got {config.audit_flush_every!r}"
+        )
+    if config.audit_checkpoint_every < 0:
+        raise ConfigError(
+            f"audit_checkpoint_every must be >= 0, "
+            f"got {config.audit_checkpoint_every!r}"
         )
     return config
 

@@ -24,11 +24,13 @@ from typing import Generator, Optional
 
 from repro.costmodel import DEFAULT_COSTS, CostModel
 from repro.crypto.drbg import HmacDrbg
-from repro.errors import RevokedError, RpcError
+from repro.errors import ConfigError, RevokedError, RpcError
 from repro.net.rpc import RpcServer
 from repro.sim import Lock, Simulation
 from repro.auditstore import make_audit_log
+from repro.auditstore.durable import DurableAuditStore
 from repro.auditstore.log import DISCLOSING_KINDS, LogEntry
+from repro.storage.backend import BlobStore
 
 __all__ = ["KeyService", "AUDIT_ID_LEN", "REMOTE_KEY_LEN", "DISCLOSING_KINDS"]
 
@@ -50,9 +52,18 @@ class KeyService:
         audit_store: str = "flat",
         segment_entries: int = 1024,
         auto_compact: bool = True,
+        audit_durable: bool = False,
+        audit_flush_policy: str = "every-seal",
+        audit_flush_every: int = 64,
+        audit_checkpoint_every: int = 0,
+        audit_blobs=None,
     ):
         if shards < 1:
             raise ValueError("key service needs at least one shard")
+        if audit_durable and audit_store != "segmented":
+            raise ConfigError(
+                "audit_durable requires audit_store='segmented'"
+            )
         self.sim = sim
         self.costs = costs
         self.shards = shards
@@ -70,6 +81,31 @@ class KeyService:
         self._shard_locks: Optional[list[Lock]] = (
             None if shards == 1 else [Lock(sim) for _ in range(shards)]
         )
+        # Durability seam: a durable store spills into a write-once
+        # blob namespace (`audit/<service-name>/`) on the rig's shared
+        # BlobStore; standalone services get a private in-memory one.
+        self.audit_durable = audit_durable
+        self.audit_namespace = f"audit/{name}"
+        if audit_durable and audit_blobs is None:
+            audit_blobs = BlobStore("memory", costs).namespace(
+                self.audit_namespace
+            )
+        self._audit_blobs = audit_blobs
+        self._audit_knobs = {
+            "store": audit_store,
+            "shards": shards,
+            "segment_entries": segment_entries,
+            "auto_compact": auto_compact,
+            "durable": audit_durable,
+            "flush_policy": audit_flush_policy,
+            "flush_every": audit_flush_every,
+        }
+        self.audit_checkpoint_every = max(0, int(audit_checkpoint_every))
+        self._last_checkpoint = 0
+        self._crashed = False
+        self._entries_at_crash: Optional[int] = None
+        #: set by :meth:`restart` — what the last recovery found.
+        self.recovery_stats: Optional[dict] = None
         self.access_log = make_audit_log(
             name="key-access",
             store=audit_store,
@@ -77,6 +113,11 @@ class KeyService:
             router=self._route_record,
             segment_entries=segment_entries,
             auto_compact=auto_compact,
+            durable=audit_durable,
+            blobs=audit_blobs,
+            flush_policy=audit_flush_policy,
+            flush_every=audit_flush_every,
+            costs=costs,
         )
 
         # Retry dedup: token -> time of the entry it logged.  A retried
@@ -119,6 +160,145 @@ class KeyService:
     def _shard_release(self, shard: int) -> None:
         if self._shard_locks is not None:
             self._shard_locks[shard].release()
+
+    # -- audit durability ---------------------------------------------------
+    def _audit_sync(self) -> Generator:
+        """Charge any banked durable-flush cost to the sim timeline.
+
+        Called by every handler right after it appends: the durable
+        store's blob writes happen synchronously (log-before-disclose),
+        but their simulated cost lands here, at the handler's next
+        yield point.  Also drives the automatic checkpoint cadence.
+        With a non-durable log this yields nothing — the flags-off
+        timeline is untouched.
+        """
+        log = self.access_log
+        take = getattr(log, "take_pending_cost", None)
+        if take is None:
+            return None
+        if (
+            self.audit_checkpoint_every
+            and len(log) - self._last_checkpoint
+            >= self.audit_checkpoint_every
+        ):
+            log.checkpoint()
+            self._last_checkpoint = len(log)
+        cost = take()
+        if cost > 0.0:
+            yield cost
+        return None
+
+    def audit_checkpoint(self) -> int:
+        """Persist a view snapshot now (``ctl.audit_checkpoint``)."""
+        if not hasattr(self.access_log, "checkpoint"):
+            raise ConfigError(
+                "audit checkpoints need a durable audit store "
+                "(audit_durable=True)"
+            )
+        upto = self.access_log.checkpoint()
+        self._last_checkpoint = upto
+        return upto
+
+    def crash(self) -> int:
+        """Simulate process death: the RPC server goes away and every
+        in-memory structure that lives in the process — the audit log's
+        unflushed tail, fetch-dedup tokens — is lost.  The escrow map
+        models the service's durable key database and survives.
+        Returns the audit entry count at the moment of death, which
+        :meth:`restart` uses to report the exact loss.
+        """
+        self.server.available = False
+        self._crashed = True
+        log = self.access_log
+        if hasattr(log, "crash"):
+            self._entries_at_crash = log.crash()
+        else:
+            self._entries_at_crash = len(log)
+        return self._entries_at_crash
+
+    def restart(self) -> dict:
+        """Recover from a :meth:`crash` and resume serving.
+
+        A durable store reloads its spilled segments, re-verifies the
+        full seal chain, and restores views from the checkpoint; on
+        tamper or truncation it raises
+        :class:`~repro.errors.AuditRecoveryError` and the service
+        *stays unavailable* — a log that cannot be trusted must not
+        answer forensic queries.  A non-durable log restarts empty,
+        with the total loss reported.  Returns the recovery stats.
+        """
+        if not self._crashed:
+            raise ConfigError(
+                f"service {self.server.name!r} is not crashed"
+            )
+        knobs = self._audit_knobs
+        before = self._entries_at_crash or 0
+        if knobs["durable"]:
+            # Raises AuditRecoveryError on damage; server.available
+            # stays False in that case (refuse to serve).
+            self.access_log = DurableAuditStore.recover(
+                self._audit_blobs,
+                name="key-access",
+                segment_entries=knobs["segment_entries"],
+                auto_compact=knobs["auto_compact"],
+                costs=self.costs,
+                flush_policy=knobs["flush_policy"],
+                flush_every=knobs["flush_every"],
+                entries_before=before,
+            )
+            self.recovery_stats = dict(self.access_log.recovery)
+            self.recovery_stats["durable"] = True
+        else:
+            self.access_log = make_audit_log(
+                name="key-access",
+                store=knobs["store"],
+                shards=knobs["shards"],
+                router=self._route_record,
+                segment_entries=knobs["segment_entries"],
+                auto_compact=knobs["auto_compact"],
+            )
+            self.recovery_stats = {
+                "durable": False,
+                "recovered_entries": 0,
+                "entries_before": before,
+                "lost_entries": before,
+                "checkpoint_used": False,
+            }
+        self._last_checkpoint = min(
+            self._last_checkpoint, len(self.access_log)
+        )
+        self._fetch_tokens.clear()
+        self._crashed = False
+        self._entries_at_crash = None
+        self.server.available = True
+        return self.recovery_stats
+
+    def recover_drill(self) -> dict:
+        """Dry-run recovery against the live blobs (``ctl.audit_recover``
+        on a healthy service): proves the spilled state would recover,
+        without touching the serving log."""
+        if not hasattr(self.access_log, "verify_blobs"):
+            raise ConfigError(
+                "recovery drills need a durable audit store "
+                "(audit_durable=True)"
+            )
+        return self.access_log.verify_blobs()
+
+    def rebind_audit_blobs(self, blobs) -> None:
+        """Re-point the audit namespace after a backend swap.
+
+        ``blobs`` is the new stack's :class:`BlobStore` (or an
+        already-prefixed namespace).  Only reachable when nothing was
+        spilled — spilled segments veto the swap itself.
+        """
+        ns = (
+            blobs.namespace(self.audit_namespace)
+            if hasattr(blobs, "namespace")
+            else blobs
+        )
+        self._audit_blobs = ns
+        if hasattr(self.access_log, "rebind_blobs"):
+            self.access_log.rebind_blobs(ns)
 
     # -- server-side frontend (fleet scale; see repro.server) ---------------
     def install_frontend(
@@ -216,6 +396,7 @@ class KeyService:
             self.access_log.append(
                 self.sim.now, device_id, "create", audit_id=audit_id
             )
+            yield from self._audit_sync()
             keys[audit_id] = key
             self._owner[audit_id] = device_id
         finally:
@@ -244,6 +425,7 @@ class KeyService:
             self.access_log.append(
                 self.sim.now, device_id, "create", audit_id=audit_id
             )
+            yield from self._audit_sync()
             keys[audit_id] = key
             self._owner[audit_id] = device_id
         finally:
@@ -296,6 +478,7 @@ class KeyService:
                 key = self._fetch_one(device_id, audit_id, kind)
                 if token is not None:
                     self._fetch_tokens[bytes(token)] = self.sim.now
+            yield from self._audit_sync()
         finally:
             self._shard_release(shard)
         return {"key": key}
@@ -320,6 +503,7 @@ class KeyService:
                     keys.append(self._fetch_one(device_id, audit_id, kind))
                 else:
                     keys.append(b"")  # unknown IDs skipped, not fatal
+            yield from self._audit_sync()
             return {"keys": keys}
 
         by_shard: dict[int, list[bytes]] = {}
@@ -353,6 +537,7 @@ class KeyService:
                     results[audit_id] = self._fetch_one(device_id, audit_id, kind)
                 else:
                     results[audit_id] = b""
+            yield from self._audit_sync()
         finally:
             self._shard_release(shard)
         return None
@@ -391,6 +576,7 @@ class KeyService:
                         device_id, payload, records
                     )
                 self.access_log.append_many(records)
+                yield from self._audit_sync()
             finally:
                 self._shard_release(shard)
         return outcomes
@@ -441,6 +627,7 @@ class KeyService:
             self.sim.now, device_id, "evict", count=count,
             reason=payload.get("reason", "hibernate"),
         )
+        yield from self._audit_sync()
         return {"ok": True}
 
     def _handle_evict_notify_batch(self, device_id: str, payload: dict) -> Generator:
@@ -459,6 +646,7 @@ class KeyService:
                 count=int(notice.get("count", 0)),
                 reason=notice.get("reason", "expired"),
             )
+        yield from self._audit_sync()
         return {"accepted": len(notices)}
 
     def _handle_report_batch(self, device_id: str, payload: dict) -> Generator:
@@ -476,6 +664,7 @@ class KeyService:
                 record.get("kind", "paired-fetch"),
                 audit_id=record["audit_id"],
             )
+        yield from self._audit_sync()
         return {"accepted": len(records)}
 
     # -- forensic / test access (server-side, not RPC) -------------------------

@@ -70,6 +70,10 @@ class CostModel:
     service_log_append: float = 0.15 * _MS  # durable append before reply
     service_key_lookup: float = 0.05 * _MS
     service_metadata_update: float = 0.10 * _MS
+    # fsync-equivalent barrier per durable audit-store flush (segment
+    # spill, tail group commit, or view checkpoint); byte costs are
+    # charged separately by the blob store's backend.
+    audit_fsync: float = 0.20 * _MS
 
     # --- NFS baseline (per-op server work; network charged separately) ---
     nfs_server_op: float = 0.25 * _MS

@@ -25,6 +25,7 @@ __all__ = [
     "LockedFileError",
     "ConfigError",
     "ControlError",
+    "AuditRecoveryError",
 ]
 
 
@@ -159,4 +160,18 @@ class ControlError(KeypadError):
     Maps to CLI exit code 6 — distinct from deadline (3), unavailable
     (4), and shed (5) so fleet tooling can tell a broken admin action
     from a data-plane failure.
+    """
+
+
+class AuditRecoveryError(KeypadError):
+    """Recovering a durable audit store from its spilled blobs failed.
+
+    Raised on mount/restart when the serialized segments are corrupt,
+    a sealed segment is missing, the seal chain does not verify, or a
+    blob decodes to something inconsistent with its neighbours — i.e.
+    when the recovered log would *not* be the tamper-evident record the
+    paper promises.  A service whose restart hits this refuses to serve
+    (its RPC server stays unavailable) rather than answer forensic
+    queries from an untrustworthy log.  Maps to CLI exit code 2 (the
+    integrity code) in ``keypad-audit forensics --recover``.
     """

@@ -225,6 +225,11 @@ def build_keypad_rig(
             audit_store=config.audit_store,
             segment_entries=config.audit_segment_entries,
             auto_compact=config.audit_auto_compact,
+            audit_durable=config.audit_durable,
+            audit_flush_policy=config.audit_flush_policy,
+            audit_flush_every=config.audit_flush_every,
+            audit_checkpoint_every=config.audit_checkpoint_every,
+            audit_blobs=stack.blobs if config.audit_durable else None,
         )
         replica_links = [
             network.make_link(sim, label=f"{network.name}-keys-r{i}")
@@ -268,6 +273,14 @@ def build_keypad_rig(
             audit_store=config.audit_store,
             segment_entries=config.audit_segment_entries,
             auto_compact=config.audit_auto_compact,
+            audit_durable=config.audit_durable,
+            audit_flush_policy=config.audit_flush_policy,
+            audit_flush_every=config.audit_flush_every,
+            audit_checkpoint_every=config.audit_checkpoint_every,
+            audit_blobs=(
+                stack.blobs.namespace("audit/key-service")
+                if config.audit_durable else None
+            ),
         )
         key_link = network.make_link(sim, label=f"{network.name}-keys")
         services = DeviceServices(

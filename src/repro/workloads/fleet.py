@@ -52,6 +52,7 @@ from repro.errors import (
 from repro.net.netem import LAN, NetEnv
 from repro.net.rpc import RpcChannel
 from repro.sim import SimRandom, Simulation
+from repro.storage.backend import BlobStore
 
 __all__ = [
     "DeviceProfile",
@@ -266,6 +267,9 @@ class FleetResult:
     frontend_metrics: list[dict]
     #: scripted-admin outcomes, one entry per ControlEvent fired.
     control_log: list = field(default_factory=list)
+    #: ``(sim_time, text)`` entries from the fault injector, when a
+    #: ``faults`` plan was replayed against the replica cluster.
+    fault_trace: list = field(default_factory=list)
     #: whatever ``run_fleet(inspect=...)``'s callback returned (not part
     #: of :meth:`summary`; benchmarks consume it directly).
     inspection: Optional[object] = None
@@ -438,6 +442,11 @@ def run_fleet(
     control: Optional[list] = None,
     audit_store: str = "flat",
     segment_entries: int = 1024,
+    audit_durable: bool = False,
+    audit_flush_policy: str = "every-seal",
+    audit_flush_every: int = 64,
+    audit_checkpoint_every: int = 0,
+    faults=None,
     inspect: Optional[Callable] = None,
     fleet_shards: Optional[int] = None,
 ) -> FleetResult:
@@ -471,6 +480,15 @@ def run_fleet(
     examine server-side state (audit log contents, store stats, ...)
     once :func:`run_fleet` returns.
 
+    ``audit_durable=True`` (segmented store only) persists each
+    service's audit log through a write-once blob store, with
+    ``audit_flush_policy``/``audit_flush_every`` setting the group
+    commit cadence and ``audit_checkpoint_every`` the automatic view
+    checkpoint interval.  ``faults`` is an optional
+    :class:`~repro.cluster.faults.FaultPlan` replayed against the
+    replica group mid-run — including ``kill`` events, whose
+    auto-revert restarts the replica through real audit recovery.
+
     ``fleet_shards`` (or the ``KEYPAD_FLEET_SHARDS`` environment
     variable, when the argument is None) partitions the simulated
     *devices* across forked worker processes while the service stays in
@@ -489,7 +507,7 @@ def run_fleet(
     if requested is None:
         requested = int(os.environ.get("KEYPAD_FLEET_SHARDS", "1") or "1")
     n_shards = max(1, min(int(requested), devices))
-    if n_shards > 1:
+    if n_shards > 1 and not audit_durable and faults is None:
         from repro.workloads import fleet_shard
 
         if fleet_shard.available(net, replicas=replicas):
@@ -516,6 +534,13 @@ def run_fleet(
             sim, m=replicas, k=threshold, costs=costs,
             seed=derive_arm_seed(seed, "cluster"), shards=shards,
             audit_store=audit_store, segment_entries=segment_entries,
+            audit_durable=audit_durable,
+            audit_flush_policy=audit_flush_policy,
+            audit_flush_every=audit_flush_every,
+            audit_checkpoint_every=audit_checkpoint_every,
+            audit_blobs=(
+                BlobStore("memory", costs) if audit_durable else None
+            ),
         )
         if frontend is not None:
             frontends = group.install_frontends(**frontend)
@@ -527,6 +552,10 @@ def run_fleet(
             sim, costs=costs, seed=derive_arm_seed(seed, "ks"),
             name="fleet-keys", shards=shards,
             audit_store=audit_store, segment_entries=segment_entries,
+            audit_durable=audit_durable,
+            audit_flush_policy=audit_flush_policy,
+            audit_flush_every=audit_flush_every,
+            audit_checkpoint_every=audit_checkpoint_every,
         )
         if frontend is not None:
             frontends = [service.install_frontend(**frontend)]
@@ -579,6 +608,16 @@ def run_fleet(
             name="fleet-admin",
         ))
 
+    injector = None
+    if faults is not None and len(faults):
+        if group is None:
+            raise ValueError("a fault plan needs a replica cluster "
+                             "(replicas > 1)")
+        from repro.cluster.faults import FaultInjector
+
+        injector = FaultInjector(sim, group=group)
+        procs.extend(injector.run(faults))
+
     sim.run_until(sim.all_of(procs))
 
     policy = frontends[0].policy if frontends else "unbounded"
@@ -589,6 +628,7 @@ def run_fleet(
         stats=[device.stats for device in fleet],
         frontend_metrics=[f.metrics.as_dict() for f in frontends],
         control_log=control_log,
+        fault_trace=list(injector.trace) if injector is not None else [],
         inspection=(
             inspect(service if group is None else group)
             if inspect is not None else None

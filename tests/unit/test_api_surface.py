@@ -46,6 +46,8 @@ API_SURFACE = sorted([
     # audit store (event-sourced log + materialized views)
     "AppendOnlyLog", "ShardedLog", "LogEntry",
     "SegmentedAuditStore", "AuditSegment", "AuditViews",
+    # durable audit store (segment spill + crash recovery)
+    "DurableAuditStore", "BlobImage", "FLUSH_POLICIES",
     # fleet scale
     "run_fleet", "FleetResult", "DeviceProfile", "ServiceFrontend",
     "ControlEvent",
@@ -53,6 +55,7 @@ API_SURFACE = sorted([
     "open_control", "ControlServer", "ControlClient", "PolicyEpoch",
     # pluggable storage backends
     "StorageBackend", "StorageStack", "BACKENDS", "make_backend",
+    "BlobStore", "BlobNamespace", "volume_contents",
     # networks
     "NetEnv", "Link", "LAN", "WLAN", "BROADBAND", "DSL", "THREE_G",
     "BLUETOOTH", "ALL_NETWORKS", "PAPER_SWEEP_RTTS",
@@ -61,7 +64,7 @@ API_SURFACE = sorted([
     "NetworkUnavailableError", "RpcError", "ServiceUnavailableError",
     "DeadlineExpiredError", "OverloadSheddedError", "RevokedError",
     "AuthorizationError", "LockedFileError", "ConfigError",
-    "ControlError",
+    "ControlError", "AuditRecoveryError",
 ])
 
 

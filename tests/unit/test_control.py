@@ -395,3 +395,116 @@ class TestFleetControlEvents:
                             seed=b"no-ctl").summary()
         assert summary["control"] == []
         assert summary["revoked"] == 0
+
+
+class TestDurableAuditControl:
+    def _durable_rig(self, flush_policy="every-append"):
+        return _rig(audit_store=dict(
+            store="segmented", segment_entries=8, durable=True,
+            flush_policy=flush_policy,
+        ))
+
+    def _seed_audit(self, rig, names=("a.txt", "b.txt")):
+        """Write files, drain the background key registrations, then
+        cold-read — so audit entries (and their blob flushes) exist."""
+        def scenario():
+            for name in names:
+                yield from rig.fs.write_file(
+                    f"/{name}", b"secret:" + name.encode()
+                )
+            yield rig.sim.timeout(60.0)
+            rig.fs.key_cache.evict_all()
+            for name in names:
+                yield from rig.fs.read_all(f"/{name}")
+
+        rig.run(scenario())
+        assert len(rig.key_service.access_log) > 0
+
+    def test_swap_refused_when_audit_blobs_spilled(self):
+        rig = self._durable_rig()
+        ctl = open_control(rig)
+        self._seed_audit(rig, names=("a.txt",))
+
+        def cleanup_then_swap():
+            # Empty the POSIX surface; only the spilled blobs remain.
+            yield from rig.fs.unlink("/a.txt")
+            with pytest.raises(ControlError, match="blob:audit"):
+                yield from ctl.swap_backend("memory")
+
+        rig.run(cleanup_then_swap())
+        assert rig.fs.policy.config.storage_backend == "ext3"
+
+    def test_swap_rebinds_an_unflushed_durable_store(self):
+        rig = self._durable_rig()
+        ctl = open_control(rig)
+
+        def scenario():
+            result = yield from ctl.swap_backend("memory")
+            return result
+
+        result = rig.run(scenario())
+        assert result["backend"] == "memory"
+        # The durable store now spills into the *new* stack's blobs.
+        self._seed_audit(rig, names=("x.txt",))
+        stack = rig.extras["backend"]
+        assert any(n.startswith("audit/") for n in stack.blobs.names())
+
+    def test_checkpoint_verb_needs_a_durable_store(self):
+        rig = _rig()  # flat store
+        ctl = open_control(rig)
+
+        def scenario():
+            with pytest.raises(ControlError, match="durable"):
+                yield from ctl.audit_checkpoint()
+
+        rig.run(scenario())
+
+    def test_checkpoint_then_stats_reports_durable_state(self):
+        rig = self._durable_rig()
+        ctl = open_control(rig)
+        self._seed_audit(rig)
+
+        def scenario():
+            result = yield from ctl.audit_checkpoint()
+            stats = yield from ctl.audit_stats()
+            return result, stats
+
+        result, stats = rig.run(scenario())
+        assert result["checkpoints"][0]["upto"] > 0
+        durable = stats["services"][0]["durable"]
+        assert durable["checkpoints"] == 1
+        assert durable["unflushed_entries"] == 0
+
+    def test_recover_verb_drills_a_healthy_service(self):
+        rig = self._durable_rig()
+        ctl = open_control(rig)
+        self._seed_audit(rig)
+
+        def scenario():
+            result = yield from ctl.audit_recover()
+            return result
+
+        result = rig.run(scenario())
+        entry = result["recovered"][0]
+        assert entry["mode"] == "drill"
+        assert entry["recovered_entries"] > 0
+
+    def test_recover_verb_restarts_a_crashed_service(self):
+        rig = self._durable_rig()
+        ctl = open_control(rig)
+        self._seed_audit(rig)
+        before = rig.key_service.crash()
+        assert not rig.key_service.server.available
+
+        def scenario():
+            result = yield from ctl.audit_recover()
+            stats = yield from ctl.audit_stats()
+            return result, stats
+
+        result, stats = rig.run(scenario())
+        entry = result["recovered"][0]
+        assert entry["mode"] == "restart"
+        assert entry["recovered_entries"] == before
+        assert entry["lost_entries"] == 0
+        assert rig.key_service.server.available
+        assert stats["services"][0]["recovery"]["durable"]
