@@ -46,7 +46,7 @@ CRASH_READS = 4        # ...and covers this many
 def _arm_config(replicated: bool) -> KeypadConfig:
     config = KeypadConfig(texp=TEXP, prefetch="none", ibe_enabled=False)
     if replicated:
-        config = config.with_replication(2, 3)
+        config = KeypadConfig.builder(config).replication(2, 3).build()
     return config
 
 

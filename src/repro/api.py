@@ -70,6 +70,12 @@ from repro.cluster.client import (
     ReplicatedDeviceServices,
     ReplicatedKeyClient,
 )
+from repro.cluster.federation import (
+    FederatedKeyClient,
+    FederationGroup,
+    Region,
+    Topology,
+)
 from repro.cluster.merge import ClusterAuditLog
 from repro.cluster.replica import ReplicaGroup
 from repro.costmodel import DEFAULT_COSTS, CostModel
@@ -163,6 +169,10 @@ __all__ = [
     "ReplicatedKeyClient",
     "ReplicatedDeviceServices",
     "ClusterAuditLog",
+    "Region",
+    "Topology",
+    "FederationGroup",
+    "FederatedKeyClient",
     # forensics
     "AuditTool",
     "AuditReport",

@@ -417,8 +417,12 @@ def _cmd_cluster_demo(args: argparse.Namespace) -> int:
     from repro.harness.experiment import DEVICE_ID
     from repro.api import THREE_G
 
-    config = KeypadConfig(texp=args.texp, prefetch="dir:3").with_replication(
-        args.threshold, args.replicas
+    config = (
+        KeypadConfig.builder()
+        .texp(args.texp)
+        .prefetch("dir:3")
+        .replication(args.threshold, args.replicas)
+        .build()
     )
     rig = build_keypad_rig(network=THREE_G, config=config)
 
@@ -628,7 +632,145 @@ def _ctl_rig(args: argparse.Namespace):
     return rig, open_control(rig)
 
 
+def _fed_rig(args: argparse.Namespace):
+    """One small federated world for the ``ctl region-*`` verbs: the
+    configured regions with the device homed in the first."""
+    from repro.api import KeypadConfig, Topology, open_control
+    from repro.harness import build_keypad_rig
+
+    topo = Topology.symmetric(
+        regions=tuple(name.strip() for name in args.regions.split(",")),
+        replicas_per_region=args.replicas_per_region,
+        threshold=args.k,
+        rtt_ms=args.rtt_ms,
+    )
+    config = (
+        KeypadConfig.builder()
+        .texp(args.texp)
+        .federation(topology=topo)
+        .build()
+    )
+    rig = build_keypad_rig(config=config, home_region=topo.region_names[0])
+    return rig, open_control(rig), topo
+
+
+def _cmd_ctl_region(args: argparse.Namespace) -> int:
+    from repro.cluster import FaultInjector, FaultPlan
+
+    rig, ctl, topo = _fed_rig(args)
+    group = rig.replica_group
+    home = topo.region_names[0]
+    fs = rig.fs
+    files = ("medical.txt", "taxes.pdf", "notes.md")
+
+    if args.verb == "region-status":
+        def scenario():
+            yield from fs.mkdir("/home")
+            yield from fs.write_file("/home/probe.txt", b"probe")
+            if args.crash_region:
+                for i in topo.replica_indices(args.crash_region):
+                    group.crash(i)
+            # Let gossip converge on the (possibly degraded) view.
+            yield rig.sim.timeout(3 * topo.dead_after)
+            status = yield from ctl.region_status()
+            return status
+
+        status = rig.run(scenario())
+        print(f"federation status at t={status['at']:.3f}")
+        degraded = []
+        for name in topo.region_names:
+            row = status["regions"][name]
+            if not row["available"]:
+                degraded.append(name)
+            print(f"  region {name:<8} replicas={row['replicas']} "
+                  f"available={row['available']} "
+                  f"[{'ok' if row['available'] else 'DOWN'}]")
+        for member, state in sorted(status["members"].items()):
+            print(f"  member {member:<16} {state}")
+        for shard in sorted(status["leaders"], key=int):
+            holder = status["leaders"][shard]
+            print(f"  shard {shard}: leader={holder or 'none'}")
+        if degraded:
+            print("regions without an available replica: "
+                  + ", ".join(degraded), file=sys.stderr)
+            return EXIT_UNAVAILABLE
+        return 0
+
+    # partition-report
+    region = args.partition or home
+    injector = FaultInjector(
+        rig.sim,
+        {link.name: link for link in rig.replica_links},
+        group,
+    )
+    injector.register_region(
+        region,
+        [link for j, link in enumerate(rig.replica_links)
+         if (group.region_labels[j] == region) != (home == region)]
+        + group.gossip_links_crossing(region),
+    )
+
+    def scenario():
+        yield from fs.mkdir("/home")
+        for name in files:
+            yield from fs.write_file(f"/home/{name}", b"confidential")
+        yield rig.sim.timeout(5.0)  # let background registration settle
+        injector.run(FaultPlan.region_partition(
+            region, at=0.0, duration=args.duration))
+        # Fetch during the split: evict caches so reads hit the cluster.
+        fs.key_cache.evict_all()
+        for name in files:
+            try:
+                yield from fs.read_all(f"/home/{name}")
+            except ReproError:
+                pass  # under-threshold inside the split — expected
+        # Register a fresh key inside the split: it cannot reach a
+        # threshold of replicas, but the reachable in-region replicas
+        # still log the attempt — the confined entries the merge
+        # classifies as a region-split.
+        import hashlib
+
+        from repro.core.client import KeyCreate
+
+        try:
+            yield from rig.services.create(KeyCreate(
+                audit_id=hashlib.sha256(b"partition-demo").digest()[:24]))
+        except ReproError:
+            pass  # needs k acks; the split allows fewer
+        # Outlast the window, then prove a post-heal read converges.
+        # Only one file is re-read: the others' split-confined audit
+        # entries stay visible in the partition report.
+        yield rig.sim.timeout(args.duration + 3 * topo.dead_after)
+        fs.key_cache.evict_all()
+        data = yield from fs.read_all(f"/home/{files[0]}")
+        assert data == b"confidential"
+        report = yield from ctl.region_partition_report()
+        return report
+
+    report = rig.run(scenario())
+    print(f"partitioned region {region!r} for {args.duration:g}s")
+    for at, what in injector.trace:
+        print(f"  [{at:.3f}] {what}")
+    print(f"region splits detected: {report['split_count']}")
+    for detail in report["splits"]:
+        print("  !! " + detail)
+    conv = report["convergence"]
+    print(f"post-heal merge: {conv['merged_accesses']} accesses from "
+          f"{conv['entries']} entries; missing={conv['missing_entries']} "
+          f"duplicates={conv['duplicate_groups']} "
+          f"lost={conv['lost_entries']}")
+    if not conv["converged"]:
+        print("CONVERGENCE FAILED: the healed merge lost or duplicated "
+              "entries", file=sys.stderr)
+        return 2
+    print("converged: every entry from both sides of the split appears "
+          "exactly once")
+    return 0
+
+
 def _cmd_ctl(args: argparse.Namespace) -> int:
+    if args.verb in ("region-status", "partition-report"):
+        return _cmd_ctl_region(args)
     rig, ctl = _ctl_rig(args)
     fs = rig.fs
 
@@ -905,6 +1047,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="resume cursor from a previous page (default 0)")
     tail.add_argument("--limit", type=int, default=50,
                       help="max ops per page (default 50)")
+
+    region_status = ctl_sub.add_parser(
+        "region-status",
+        help="per-region availability, gossip membership, and shard "
+             "leaders of a federated rig (exit 4 if a region has no "
+             "available replica)")
+    region_status.add_argument(
+        "--crash-region", default=None, metavar="NAME",
+        help="crash every replica in this region first, to demo the "
+             "degraded view")
+
+    partition_report = ctl_sub.add_parser(
+        "partition-report",
+        help="sever a region mid-run, heal it, and print the merged "
+             "audit timeline's region-split and convergence report "
+             "(exit 2 if the merge lost or duplicated entries)")
+    partition_report.add_argument(
+        "--partition", default=None, metavar="NAME",
+        help="region to sever (default: the device's home region)")
+    partition_report.add_argument(
+        "--duration", type=float, default=20.0,
+        help="partition window in sim seconds (default 20)")
+
+    for fed in (region_status, partition_report):
+        fed.add_argument("--regions", default="us,eu,ap",
+                         help="comma-separated region names "
+                              "(default us,eu,ap)")
+        fed.add_argument("--replicas-per-region", type=int, default=2,
+                         help="replicas hosted per region (default 2)")
+        fed.add_argument("--k", type=int, default=3,
+                         help="secret-share threshold (default 3, so a "
+                              "severed region is under-threshold)")
+        fed.add_argument("--rtt-ms", type=float, default=60.0,
+                         help="inter-region RTT in ms (default 60)")
 
     ctl.set_defaults(func=_cmd_ctl)
     return parser

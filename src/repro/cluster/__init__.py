@@ -10,6 +10,13 @@ backoff with jitter, hedged requests, and health-tracking failover;
 out, and :mod:`repro.cluster.merge` folds the per-replica audit logs
 back into one forensic timeline with divergence detection.
 
+On top of the flat cluster, :mod:`repro.cluster.federation` adds the
+multi-region layer: a declarative :class:`Topology` (regions,
+replicas-per-region, k/m, inter-region RTT matrix), gossip-based
+membership (:mod:`repro.cluster.gossip`), per-shard leader leases
+(:mod:`repro.cluster.election`), and a geo-routing
+:class:`FederatedKeyClient` that prefers the nearest healthy region.
+
 Everything here is flag-gated: ``KeypadConfig(replicas=1)`` (the
 default) never touches this package.
 """
@@ -20,6 +27,13 @@ from repro.cluster.client import (
     ReplicatedServiceSession,
 )
 from repro.cluster.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.cluster.federation import (
+    FederatedDeviceServices,
+    FederatedKeyClient,
+    FederationGroup,
+    Region,
+    Topology,
+)
 from repro.cluster.merge import ClusterAuditLog, Divergence, MergedAccess
 from repro.cluster.replica import ReplicaGroup
 
@@ -28,6 +42,11 @@ __all__ = [
     "ReplicatedKeyClient",
     "ReplicatedServiceSession",
     "ReplicatedDeviceServices",
+    "Region",
+    "Topology",
+    "FederationGroup",
+    "FederatedKeyClient",
+    "FederatedDeviceServices",
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",

@@ -183,13 +183,20 @@ class ReplicatedKeyClient:
             ep.down_until = self.sim.now + self.cooldown
             self.metrics.marked_down += 1
 
+    def _rank_key(self, endpoint: _Endpoint, now: float) -> tuple:
+        """Ordering key for :meth:`_ranked` — the routing seam.
+
+        The base policy is PR 2's: healthy endpoints first in stable
+        index order, cooling-down ones last (still contacted as a last
+        resort).  Geo-aware subclasses override this to rank by link
+        RTT instead of index.
+        """
+        return (0 if endpoint.down_until <= now else 1, endpoint.index)
+
     def _ranked(self) -> list[_Endpoint]:
-        """Healthy replicas first (stable index order), cooling-down
-        ones last — still contacted as a last resort."""
         now = self.sim.now
-        healthy = [ep for ep in self.endpoints if ep.down_until <= now]
-        cooling = [ep for ep in self.endpoints if ep.down_until > now]
-        return healthy + cooling
+        return sorted(self.endpoints,
+                      key=lambda ep: self._rank_key(ep, now))
 
     def health(self) -> dict[int, bool]:
         now = self.sim.now
@@ -568,6 +575,8 @@ class ReplicatedServiceSession(ServiceSession):
         mint_seed: bytes = b"cluster-mint",
         rng: Optional[SimRandom] = None,
         tracer=None,
+        cluster_cls: Optional[type] = None,
+        cluster_kwargs: Optional[dict] = None,
     ):
         super().__init__(
             sim, device_id, device_secret, replica_group.replicas[0],
@@ -579,7 +588,10 @@ class ReplicatedServiceSession(ServiceSession):
             tracer=tracer,
         )
         self.replica_group = replica_group
-        self.cluster = ReplicatedKeyClient(
+        # The transport is pluggable so a federated session can swap in
+        # a geo-routing FederatedKeyClient without re-deriving the rest
+        # of the facade.
+        self.cluster = (cluster_cls or ReplicatedKeyClient)(
             sim, device_id, device_secret, replica_group, replica_links,
             costs=costs, rekey_interval=rekey_interval, pipelining=pipelining,
             max_inflight=max_inflight, deadline=deadline,
@@ -587,6 +599,7 @@ class ReplicatedServiceSession(ServiceSession):
             backoff_cap=backoff_cap, failure_threshold=failure_threshold,
             cooldown=cooldown, dedup_window=dedup_window,
             rng=rng, share_seed=mint_seed + b"|shares", tracer=tracer,
+            **(cluster_kwargs or {}),
         )
         self._mint_drbg = HmacDrbg(mint_seed, b"cluster-remote-keys")
 

@@ -52,7 +52,9 @@ class FaultEvent:
     """One scheduled fault.
 
     ``target`` is ``"replica:<index>"`` or ``"link:<name>"``
-    (``partition`` allows ``"link:a,link:b"``).  ``duration`` > 0 makes
+    (``partition`` allows a comma list mixing ``link:<name>`` and
+    ``region:<name>``, the latter expanding to a registered region's
+    boundary links).  ``duration`` > 0 makes
     the fault a window that auto-reverts; ``value`` carries the extra
     seconds for ``delay``/``jitter``.
     """
@@ -127,6 +129,22 @@ class FaultPlan:
         return cls([FaultEvent(at, "kill", f"replica:{index}", duration)])
 
     @classmethod
+    def region_partition(
+        cls, region: str, at: float, duration: float
+    ) -> "FaultPlan":
+        """Sever a whole region from the rest of the federation at
+        ``at`` and heal it after ``duration`` seconds.
+
+        The injector expands ``region:<name>`` (via
+        :meth:`FaultInjector.register_region`) into every link that
+        crosses the region boundary — device links into/out of the
+        region and the inter-region gossip mesh — and downs them
+        together; intra-region links stay up, so devices homed there
+        keep reaching their local replicas.
+        """
+        return cls([FaultEvent(at, "partition", f"region:{region}", duration)])
+
+    @classmethod
     def random_outages(
         cls,
         rng: SimRandom,
@@ -180,6 +198,8 @@ class FaultInjector:
         self.links = dict(links or {})
         self.group = group
         self._jitter_rng = jitter_rng or SimRandom(0, "fault-jitter")
+        #: region name -> boundary links a region partition severs
+        self.region_links: dict[str, list[Link]] = {}
         # (time, description) apply/revert trace; same-seed runs must
         # produce identical traces.
         self.trace: list[tuple[float, str]] = []
@@ -187,6 +207,12 @@ class FaultInjector:
     # -- wiring --------------------------------------------------------------
     def register_link(self, name: str, link: Link) -> None:
         self.links[name] = link
+
+    def register_region(self, name: str, boundary_links: list[Link]) -> None:
+        """Wire a region for ``partition region:<name>`` events: the
+        links that cross the region's boundary (downed and healed as
+        one)."""
+        self.region_links[name] = list(boundary_links)
 
     def _link(self, name: str) -> Link:
         try:
@@ -206,6 +232,24 @@ class FaultInjector:
         if ":" not in target:
             raise SimulationError(f"malformed fault target {target!r}")
         return tuple(target.split(":", 1))  # type: ignore[return-value]
+
+    def _partition_links(self, target: str) -> list[Link]:
+        """Expand a partition target list: ``link:`` parts name one
+        link each, ``region:`` parts expand to the region's registered
+        boundary links."""
+        links: list[Link] = []
+        for part in target.split(","):
+            kind, name = self._split(part.strip())
+            if kind == "region":
+                try:
+                    links.extend(self.region_links[name])
+                except KeyError:
+                    raise SimulationError(
+                        f"fault plan partitions unknown region {name!r}"
+                    ) from None
+            else:
+                links.append(self._link(name))
+        return links
 
     # -- execution -----------------------------------------------------------
     def run(self, plan: FaultPlan) -> "list":
@@ -268,8 +312,8 @@ class FaultInjector:
             link.set_jitter(event.value, self._jitter_rng)
             self._record(f"jitter {target} {event.value:g}")
         elif action == "partition":
-            for part in target.split(","):
-                self._link(self._split(part.strip())[1]).set_down()
+            for link in self._partition_links(target):
+                link.set_down()
             self._record(f"partition {target}")
         else:  # pragma: no cover - guarded by FaultEvent validation
             raise SimulationError(f"unknown fault action {action!r}")
@@ -297,7 +341,7 @@ class FaultInjector:
             self._link(self._split(target)[1]).set_jitter(0.0)
             self._record(f"jitter {target} 0")
         elif action == "partition":
-            for part in target.split(","):
-                self._link(self._split(part.strip())[1]).set_up()
+            for link in self._partition_links(target):
+                link.set_up()
             self._record(f"heal {target}")
         # link-up / recover / sever have no windowed revert.

@@ -1,0 +1,224 @@
+"""Gossip-based membership for the federated key-service cluster.
+
+Each replica hosts one :class:`GossipAgent` that runs seeded
+anti-entropy rounds over the ordinary :class:`~repro.net.rpc.RpcChannel`
+wire (``gossip.exchange`` is just another authenticated verb on the
+replica's server).  Every round the agent bumps its own heartbeat,
+picks ``fanout`` peers from its seeded stream, and push-pulls its
+member view; a peer whose heartbeat stops advancing decays through
+``alive -> suspect -> dead`` on the local clock.  Because the draws,
+the link delays, and the event kernel are all deterministic, two
+same-seed runs produce identical membership transition traces — the
+property the fault-plan tests pin down.
+
+A crashed replica (``server.available == False``) neither emits rounds
+nor answers exchanges, so the rest of the federation sees its heartbeat
+stall and marks it dead; a region partition downs the inter-region
+gossip links, so each side marks the *other* side dead and re-merges
+heartbeats after heal.  Lease tables for per-shard leader election
+(:mod:`repro.cluster.election`) piggyback on the same exchanges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import (
+    NetworkUnavailableError,
+    RpcError,
+    ServiceUnavailableError,
+)
+from repro.sim import Simulation
+from repro.sim.rand import SimRandom
+
+__all__ = ["ALIVE", "SUSPECT", "DEAD", "MemberView", "GossipAgent"]
+
+#: membership states, in decay order
+ALIVE, SUSPECT, DEAD = "alive", "suspect", "dead"
+
+#: exchange failures that mean "peer unreachable this round", not a bug
+_EXCHANGE_FAILURES = (
+    NetworkUnavailableError,
+    ServiceUnavailableError,
+    RpcError,
+)
+
+
+@dataclass
+class MemberView:
+    """One member as seen locally: the highest heartbeat we have heard
+    and the *local* time we heard it advance (freshness is always
+    judged on the observer's clock, never the peer's)."""
+
+    member_id: str
+    region: str
+    heartbeat: int
+    advanced_at: float
+
+    def to_wire(self) -> dict:
+        return {
+            "id": self.member_id,
+            "region": self.region,
+            "heartbeat": self.heartbeat,
+        }
+
+
+class GossipAgent:
+    """The per-replica membership daemon.
+
+    Registers ``gossip.exchange`` on the replica's own RPC server and
+    gossips outward over per-peer channels installed via
+    :meth:`connect`.  The agent never invents state: its view advances
+    only on heartbeats (its own or merged ones), so a partitioned or
+    crashed member can only *decay*, never flap alive.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        member_id: str,
+        region: str,
+        server: Any,
+        rng: SimRandom,
+        interval: float = 0.5,
+        fanout: int = 2,
+        suspect_after: float = 2.0,
+        dead_after: float = 5.0,
+        leases: Optional[Any] = None,
+    ):
+        if interval <= 0:
+            raise ValueError("gossip interval must be positive")
+        self.sim = sim
+        self.member_id = member_id
+        self.region = region
+        self.server = server
+        self.rng = rng
+        self.interval = interval
+        self.fanout = max(1, fanout)
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        #: optional :class:`~repro.cluster.election.LeaseManager`
+        self.leases = leases
+        self.view: Dict[str, MemberView] = {
+            member_id: MemberView(member_id, region, 0, sim.now)
+        }
+        self.peers: Dict[str, Any] = {}
+        self.rounds = 0
+        #: (time, member, status) transition trace; same-seed runs
+        #: produce byte-identical traces.
+        self.transitions: List[Tuple[float, str, str]] = []
+        self._statuses: Dict[str, str] = {member_id: ALIVE}
+        # Stagger the first round so m agents don't all fire at t=0 in
+        # lockstep; the phase comes from the seeded stream.
+        self._phase = self.rng.uniform(0.0, interval)
+        server.register("gossip.exchange", self._handle_exchange)
+
+    # -- wiring ------------------------------------------------------------
+    def connect(self, member_id: str, channel: Any, region: str) -> None:
+        """Attach the outbound channel for one peer and seed its view
+        entry (heartbeat 0: known, but not yet heard from)."""
+        self.peers[member_id] = channel
+        if member_id not in self.view:
+            self.view[member_id] = MemberView(member_id, region, 0, self.sim.now)
+            self._statuses[member_id] = ALIVE
+
+    # -- view --------------------------------------------------------------
+    def _export(self) -> List[dict]:
+        return [self.view[mid].to_wire() for mid in sorted(self.view)]
+
+    def _merge(self, records: List[dict]) -> None:
+        now = self.sim.now
+        for rec in records:
+            try:
+                mid = str(rec["id"])
+                region = str(rec["region"])
+                heartbeat = int(rec["heartbeat"])
+            except (KeyError, TypeError, ValueError):
+                continue  # malformed entry: ignore, never crash the round
+            known = self.view.get(mid)
+            if known is None:
+                self.view[mid] = MemberView(mid, region, heartbeat, now)
+            elif heartbeat > known.heartbeat:
+                known.heartbeat = heartbeat
+                known.advanced_at = now
+
+    def status_of(self, member_id: str, now: Optional[float] = None) -> str:
+        """alive/suspect/dead by local heartbeat freshness."""
+        if now is None:
+            now = self.sim.now
+        if member_id == self.member_id:
+            return ALIVE if self.server.available else DEAD
+        view = self.view[member_id]
+        age = now - view.advanced_at
+        if age >= self.dead_after:
+            return DEAD
+        if age >= self.suspect_after:
+            return SUSPECT
+        return ALIVE
+
+    def statuses(self) -> Dict[str, str]:
+        now = self.sim.now
+        return {mid: self.status_of(mid, now) for mid in sorted(self.view)}
+
+    def alive_members(self) -> List[str]:
+        return [m for m, s in self.statuses().items() if s == ALIVE]
+
+    def _poll_transitions(self) -> None:
+        now = self.sim.now
+        for mid, status in self.statuses().items():
+            if self._statuses.get(mid) != status:
+                self._statuses[mid] = status
+                self.transitions.append((now, mid, status))
+
+    # -- the exchange verb (server side) -----------------------------------
+    def _handle_exchange(self, device_id: str, payload: dict) -> dict:
+        self._merge(payload.get("members") or [])
+        if self.leases is not None:
+            self.leases.merge(payload.get("leases") or [], self.sim.now)
+        return {
+            "members": self._export(),
+            "leases": self.leases.export() if self.leases is not None else [],
+        }
+
+    # -- the anti-entropy loop (client side) --------------------------------
+    def _pick_peers(self) -> List[str]:
+        ids = sorted(self.peers)
+        if len(ids) <= self.fanout:
+            return ids
+        return sorted(self.rng.sample(ids, self.fanout))
+
+    def run(self) -> Generator:
+        """Sim process: one anti-entropy round per interval, forever."""
+        yield self.sim.timeout(self._phase)
+        while True:
+            yield self.sim.timeout(self.interval)
+            if not self.server.available:
+                # A crashed replica is silent: no heartbeat, no gossip.
+                # Peers watch the stall and decay it to dead.
+                continue
+            self.rounds += 1
+            mine = self.view[self.member_id]
+            mine.heartbeat += 1
+            mine.advanced_at = self.sim.now
+            for peer_id in self._pick_peers():
+                try:
+                    reply = yield from self.peers[peer_id].call(
+                        "gossip.exchange",
+                        members=self._export(),
+                        leases=(
+                            self.leases.export()
+                            if self.leases is not None
+                            else []
+                        ),
+                    )
+                except _EXCHANGE_FAILURES:
+                    continue  # unreachable this round; freshness decays
+                self._merge(reply.get("members") or [])
+                if self.leases is not None:
+                    self.leases.merge(
+                        reply.get("leases") or [], self.sim.now
+                    )
+            if self.leases is not None:
+                self.leases.tick(self.alive_members(), self.sim.now)
+            self._poll_transitions()

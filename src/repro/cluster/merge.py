@@ -19,6 +19,13 @@ records when their stories disagree:
   produce (a fetch completes only after k replicas durably logged);
 * ``revocation-divergence`` — some replicas consider the device
   revoked and others do not;
+* ``region-split`` — with region labels attached (a federation), the
+  under-replicated IDs that were witnessed *only inside one region* are
+  folded into a single per-region record: the signature of a region
+  partition, where devices kept reaching their local replicas but the
+  shares could not cross the cut.  :meth:`convergence_report` proves
+  the post-heal property — every entry appended on either side of the
+  partition appears exactly once in the merged timeline;
 * ``stale-recovery`` — a replica came back from a crash+restart with
   fewer entries than it held at death (its unflushed tail was lost),
   so its log is an honest but *stale* witness.  The k-1 other replicas
@@ -80,7 +87,8 @@ class Divergence:
     """A disagreement between replica audit logs."""
 
     kind: str                   # chain-broken | under-replicated |
-                                # revocation-divergence | stale-recovery
+                                # revocation-divergence | stale-recovery |
+                                # region-split
     detail: str
     replica_indices: tuple[int, ...] = ()
     audit_id: Optional[bytes] = None
@@ -97,7 +105,11 @@ class ClusterAuditLog:
         replicas: Union[ReplicaGroup, Iterable[KeyService]],
         threshold: int,
         window: float = 5.0,
+        regions: Optional[Iterable[str]] = None,
     ):
+        if regions is None:
+            # A FederationGroup carries its own labels.
+            regions = getattr(replicas, "region_labels", None)
         if isinstance(replicas, ReplicaGroup):
             self.replicas = list(replicas.replicas)
         else:
@@ -106,6 +118,12 @@ class ClusterAuditLog:
             raise ValueError("a cluster audit log needs at least one replica")
         if not 1 <= threshold <= len(self.replicas):
             raise ValueError("threshold must be within the replica count")
+        #: per-replica region labels; None for a flat (PR 2) cluster
+        self.regions: Optional[list[str]] = (
+            list(regions) if regions is not None else None
+        )
+        if self.regions is not None and len(self.regions) != len(self.replicas):
+            raise ValueError("need one region label per replica")
         self.threshold = threshold
         self.window = window
         # Incremental-merge state: per-replica high-water marks over the
@@ -259,21 +277,59 @@ class ClusterAuditLog:
         # completed k-of-m operation leaves records on >= k replicas
         # (repairs may land late, hence no windowing here).
         coverage: dict[bytes, set[int]] = {}
+        spans: dict[bytes, tuple[float, float]] = {}
         for index, entry in self._tagged_entries(device_id=device_id):
             audit_id = entry.fields.get("audit_id")
             if audit_id:
-                coverage.setdefault(bytes(audit_id), set()).add(index)
-        for audit_id, indices in sorted(coverage.items()):
-            if len(indices) < self.threshold:
-                out.append(
-                    Divergence(
-                        "under-replicated",
-                        f"id {audit_id.hex()[:12]}… was disclosed but only "
-                        f"{len(indices)}/{self.threshold} replicas logged it",
-                        replica_indices=tuple(sorted(indices)),
-                        audit_id=audit_id,
-                    )
+                audit_id = bytes(audit_id)
+                coverage.setdefault(audit_id, set()).add(index)
+                lo, hi = spans.get(
+                    audit_id, (entry.timestamp, entry.timestamp)
                 )
+                spans[audit_id] = (
+                    min(lo, entry.timestamp), max(hi, entry.timestamp)
+                )
+        # With region labels, under-replicated IDs confined to a single
+        # region are the fingerprint of a partition — fold them into one
+        # region-split record per region instead of per-ID noise.
+        confined: dict[str, list[bytes]] = {}
+        for audit_id, indices in sorted(coverage.items()):
+            if len(indices) >= self.threshold:
+                continue
+            if self.regions is not None:
+                witness_regions = {self.regions[i] for i in indices}
+                if len(witness_regions) == 1:
+                    confined.setdefault(
+                        next(iter(witness_regions)), []
+                    ).append(audit_id)
+                    continue
+            out.append(
+                Divergence(
+                    "under-replicated",
+                    f"id {audit_id.hex()[:12]}… was disclosed but only "
+                    f"{len(indices)}/{self.threshold} replicas logged it",
+                    replica_indices=tuple(sorted(indices)),
+                    audit_id=audit_id,
+                )
+            )
+        for region in sorted(confined):
+            ids = confined[region]
+            lo = min(spans[a][0] for a in ids)
+            hi = max(spans[a][1] for a in ids)
+            members = tuple(
+                i for i, name in enumerate(self.regions or [])
+                if name == region
+            )
+            out.append(
+                Divergence(
+                    "region-split",
+                    f"region {region}: {len(ids)} disclosed id(s) between "
+                    f"t={lo:.3f} and t={hi:.3f} were witnessed only inside "
+                    f"{region} (below the {self.threshold}-replica "
+                    "threshold) — consistent with a region partition",
+                    replica_indices=members,
+                )
+            )
         revoked = {
             index
             for index, replica in enumerate(self.replicas)
@@ -289,6 +345,70 @@ class ClusterAuditLog:
                 )
             )
         return out
+
+    # -- post-heal convergence ----------------------------------------------
+    def convergence_report(self) -> dict:
+        """Prove (or disprove) post-heal convergence of the merge.
+
+        Converged means every disclosing entry appended on any replica —
+        on either side of a partition — appears in exactly one merged
+        group: no entry is dropped (``missing_entries == 0``), no
+        logical access is counted twice (``duplicate_groups == 0``, two
+        same-key groups closer than the merge window apart), and no
+        replica lost entries to a stale crash recovery.
+        """
+        accesses = self.merged()
+        entries = len(self._cache)
+        grouped = sum(len(a.entries) for a in accesses)
+        last_start: dict[tuple, float] = {}
+        duplicates = 0
+        for access in accesses:
+            key = (access.device_id, access.audit_id, access.kind)
+            prev = last_start.get(key)
+            if prev is not None and access.timestamp - prev <= self.window:
+                duplicates += 1
+            last_start[key] = access.timestamp
+        lost = 0
+        for replica in self.replicas:
+            stats = getattr(replica, "recovery_stats", None)
+            if stats:
+                lost += int(stats.get("lost_entries") or 0)
+        report = {
+            "entries": entries,
+            "merged_accesses": len(accesses),
+            "grouped_entries": grouped,
+            "missing_entries": entries - grouped,
+            "duplicate_groups": duplicates,
+            "lost_entries": lost,
+            "converged": (
+                entries == grouped and duplicates == 0 and lost == 0
+            ),
+        }
+        if self.regions is not None:
+            per_region = {name: 0 for name in dict.fromkeys(self.regions)}
+            for _, index, _, _ in self._cache:
+                per_region[self.regions[index]] += 1
+            report["entries_by_region"] = per_region
+        return report
+
+    def region_report(self, device_id: Optional[str] = None) -> dict:
+        """The ``ctl.region_partition_report`` payload: every
+        divergence, the region splits, and the convergence proof."""
+        divergences = self.divergences(device_id)
+        splits = [d for d in divergences if d.kind == "region-split"]
+        return {
+            "divergences": [
+                {
+                    "kind": d.kind,
+                    "detail": d.detail,
+                    "replicas": list(d.replica_indices),
+                }
+                for d in divergences
+            ],
+            "splits": [d.detail for d in splits],
+            "split_count": len(splits),
+            "convergence": self.convergence_report(),
+        }
 
     # -- the KeyService surface AuditTool reads ------------------------------
     def accesses_after(

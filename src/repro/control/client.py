@@ -129,3 +129,19 @@ class ControlClient:
         params = {} if index is None else {"index": int(index)}
         result = yield from self.channel.call("ctl.audit_recover", **params)
         return result
+
+    # -- federation ----------------------------------------------------------
+    def region_status(self) -> Generator:
+        """Per-region availability, gossip membership, and per-shard
+        lease holders (federated mounts only; PROTOCOL.md §14)."""
+        result = yield from self.channel.call("ctl.region_status")
+        return result
+
+    def region_partition_report(self,
+                                window: Optional[float] = None) -> Generator:
+        """Merged cross-region audit timeline: region-split divergences
+        plus the post-heal convergence proof."""
+        params = {} if window is None else {"window": float(window)}
+        result = yield from self.channel.call("ctl.region_partition_report",
+                                              **params)
+        return result

@@ -108,6 +108,8 @@ class ControlServer:
             ("ctl.audit_rebuild", self._audit_rebuild),
             ("ctl.audit_checkpoint", self._audit_checkpoint),
             ("ctl.audit_recover", self._audit_recover),
+            ("ctl.region_status", self._region_status),
+            ("ctl.region_partition_report", self._region_partition_report),
         ):
             self.rpc.register(verb, _verb(handler))
 
@@ -470,6 +472,38 @@ class ControlServer:
                 out.append({"index": index, "mode": "drill", **stats})
         self._note("audit_recover", count=len(out))
         return {"recovered": out}
+
+    def _federation(self):
+        """The attached federated replica group, or ControlError."""
+        group = self.replica_group
+        if group is None or getattr(group, "topology", None) is None:
+            raise ControlError(
+                "no federated replica group attached "
+                "(mount with KeypadConfig.builder().federation(...))"
+            )
+        return group
+
+    def _region_status(self, device_id: str, payload: dict) -> dict:
+        """Per-region replica availability, the gossip membership view
+        of a live observer, and the per-shard lease holders."""
+        status = self._federation().region_status()
+        self._note("region_status")
+        return status
+
+    def _region_partition_report(self, device_id: str, payload: dict) -> dict:
+        """Merge the per-replica audit logs across the federation and
+        report region-split divergences plus the convergence proof
+        (no missing, duplicated, or lost entries after a heal)."""
+        from repro.cluster.merge import ClusterAuditLog
+
+        group = self._federation()
+        window = float(payload.get("window") or 5.0)
+        log = ClusterAuditLog(group, group.k, window=window,
+                              regions=group.region_labels)
+        report = log.region_report()
+        self._note("region_partition_report",
+                   splits=report["split_count"])
+        return report
 
     def _metrics(self, device_id: str, payload: dict) -> dict:
         """Live counters: channels, frontends, key cache, trace."""

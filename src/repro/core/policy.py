@@ -21,6 +21,7 @@ passed as mount-time knobs.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Any, Callable, Optional, Sequence
 
@@ -139,6 +140,13 @@ class KeypadConfig:
     replica_backoff_cap: float = 4.0
     replica_failure_threshold: int = 2
     replica_cooldown: float = 8.0
+    # Multi-region federation: a frozen
+    # :class:`~repro.cluster.federation.Topology` (regions,
+    # replicas-per-region, k/m, inter-region RTT matrix, gossip/lease
+    # knobs).  None (the default) keeps the flat single-service or
+    # plain-cluster paths; set it through ``builder().federation(...)``
+    # which also aligns ``replicas``/``replica_threshold``.
+    federation: Optional[Any] = None
     # --- observability: the per-operation context seam (see
     # docs/OBSERVABILITY.md).  All off by default so flags-off runs
     # stay byte-identical with the pre-context tree.
@@ -259,7 +267,20 @@ class KeypadConfig:
         )
 
     def with_replication(self, k: int = 2, m: int = 3, **knobs) -> "KeypadConfig":
-        """Shim for ``builder().replication(...)`` (see there)."""
+        """Deprecated shim for ``builder().replication(...)``.
+
+        The ad-hoc ``ReplicaGroup`` entry point predates the topology
+        API; new code should chain ``KeypadConfig.builder()
+        .replication(...)`` — or ``.federation(...)`` for a
+        multi-region cluster.
+        """
+        warnings.warn(
+            "KeypadConfig.with_replication() is deprecated; use "
+            "KeypadConfig.builder().replication(...) — or "
+            ".federation(...) for a multi-region topology",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return KeypadConfigBuilder(self).replication(k=k, m=m, **knobs).build()
 
 
@@ -334,6 +355,55 @@ class KeypadConfigBuilder:
                 )
         self._config = replace(
             self._config, replicas=m, replica_threshold=k, **knobs
+        )
+        return self
+
+    def federation(
+        self,
+        topology: Optional[Any] = None,
+        regions: Sequence[str] | int = 3,
+        replicas_per_region: int = 2,
+        k: int = 2,
+        rtt_ms: float = 80.0,
+        **knobs,
+    ) -> "KeypadConfigBuilder":
+        """A multi-region federated key-service cluster.
+
+        Pass a ready :class:`~repro.cluster.federation.Topology`, or
+        let the bundle build a symmetric one from ``regions`` /
+        ``replicas_per_region`` / ``k`` / ``rtt_ms``.  The bundle also
+        sets ``replicas`` and ``replica_threshold`` from the topology,
+        so the cluster knobs can never disagree with the region shape.
+        Extra keyword arguments are restricted to the ``replica_*``
+        client knobs, exactly like :meth:`replication`.
+        """
+        from repro.cluster.federation import Topology
+
+        if topology is None:
+            topology = Topology.symmetric(
+                regions=regions,
+                replicas_per_region=replicas_per_region,
+                threshold=k,
+                rtt_ms=rtt_ms,
+            )
+        for name in knobs:
+            _reject_runtime_verb(name)
+            if not name.startswith("replica_"):
+                raise ConfigError(
+                    f"federation() only takes replica_* knobs, got "
+                    f"{name!r} (set it through its own bundle so "
+                    "bundle order cannot silently override it)"
+                )
+        try:
+            topology.validate()
+        except ValueError as exc:
+            raise ConfigError(f"invalid federation topology: {exc}") from exc
+        self._config = replace(
+            self._config,
+            federation=topology,
+            replicas=topology.total_replicas,
+            replica_threshold=topology.threshold,
+            **knobs,
         )
         return self
 
@@ -475,6 +545,31 @@ def validate_config(config: KeypadConfig) -> KeypadConfig:
             f"threshold={config.replica_threshold} "
             f"replicas={config.replicas}"
         )
+    if config.federation is not None:
+        # Lazy import: flags-off configs never touch the cluster pkg.
+        from repro.cluster.federation import Topology
+
+        if not isinstance(config.federation, Topology):
+            raise ConfigError(
+                "federation must be a repro.cluster.federation.Topology "
+                f"(got {type(config.federation).__name__}); build it "
+                "through KeypadConfig.builder().federation(...)"
+            )
+        try:
+            config.federation.validate()
+        except ValueError as exc:
+            raise ConfigError(
+                f"invalid federation topology: {exc}"
+            ) from exc
+        if (config.replicas != config.federation.total_replicas
+                or config.replica_threshold != config.federation.threshold):
+            raise ConfigError(
+                "federation topology disagrees with replicas/"
+                f"replica_threshold ({config.federation.total_replicas}/"
+                f"{config.federation.threshold} vs {config.replicas}/"
+                f"{config.replica_threshold}); set both through "
+                "builder().federation(...)"
+            )
     if config.replica_max_retries < 0:
         raise ConfigError("replica_max_retries must be >= 0")
     if config.replica_failure_threshold < 1:

@@ -178,6 +178,7 @@ def build_keypad_rig(
     with_phone: bool = False,
     phone_network: Optional[NetEnv] = None,
     bluetooth: NetEnv = BLUETOOTH,
+    home_region: Optional[str] = None,
 ) -> KeypadRig:
     """The full Keypad stack over a network with the given RTT."""
     # Fail fast on contradictory bundles and runtime-only knobs before
@@ -215,10 +216,7 @@ def build_keypad_rig(
             )
         from repro.cluster import ReplicaGroup, ReplicatedDeviceServices
 
-        replica_group = ReplicaGroup(
-            sim,
-            config.replicas,
-            config.replica_threshold,
+        replica_knobs = dict(
             costs=costs,
             seed=seed + b"|replica",
             shards=config.key_shards,
@@ -231,13 +229,39 @@ def build_keypad_rig(
             audit_checkpoint_every=config.audit_checkpoint_every,
             audit_blobs=stack.blobs if config.audit_durable else None,
         )
-        replica_links = [
-            network.make_link(sim, label=f"{network.name}-keys-r{i}")
-            for i in range(config.replicas)
-        ]
+        if config.federation is not None:
+            from repro.cluster.federation import (
+                FederatedDeviceServices,
+                FederationGroup,
+            )
+
+            replica_group = FederationGroup(
+                sim, config.federation, **replica_knobs
+            )
+            if home_region is None:
+                home_region = config.federation.region_names[0]
+            replica_links = replica_group.device_links(
+                network, home_region, f"{network.name}-keys"
+            )
+            replica_group.start_gossip()
+            session_cls = FederatedDeviceServices
+            session_kwargs: dict = {"home_region": home_region}
+        else:
+            replica_group = ReplicaGroup(
+                sim,
+                config.replicas,
+                config.replica_threshold,
+                **replica_knobs,
+            )
+            replica_links = [
+                network.make_link(sim, label=f"{network.name}-keys-r{i}")
+                for i in range(config.replicas)
+            ]
+            session_cls = ReplicatedDeviceServices
+            session_kwargs = {}
         key_service = replica_group.replicas[0]
         key_link = replica_links[0]
-        services = ReplicatedDeviceServices(
+        services = session_cls(
             sim,
             DEVICE_ID,
             device_secret,
@@ -263,6 +287,7 @@ def build_keypad_rig(
             mint_seed=b"cluster-mint|" + seed,
             rng=SimRandom(seed, "cluster-client"),
             tracer=tracer,
+            **session_kwargs,
         )
     else:
         key_service = KeyService(

@@ -144,6 +144,8 @@ class DeviceStats:
     keys_requested: int = 0
     keys_served: int = 0
     latencies: list[float] = field(default_factory=list)
+    #: home region when the fleet runs against a federation ("" = flat)
+    region: str = ""
 
     def goodput(self, duration: float) -> float:
         """Keys actually served per second of the run."""
@@ -336,6 +338,31 @@ class FleetResult:
             }
         return out
 
+    def per_region(self) -> dict[str, dict]:
+        """Per-home-region aggregates (federated fleets only)."""
+        from repro.harness.runner import percentile
+
+        groups: dict[str, list[DeviceStats]] = {}
+        for stat in self.stats:
+            if stat.region:
+                groups.setdefault(stat.region, []).append(stat)
+        out: dict[str, dict] = {}
+        for name in sorted(groups):
+            members = groups[name]
+            latencies: list[float] = []
+            for stat in members:
+                latencies.extend(stat.latencies)
+            out[name] = {
+                "devices": len(members),
+                "requested": sum(s.requested for s in members),
+                "completed": sum(s.completed for s in members),
+                "failed": sum(s.failed for s in members),
+                "keys_served": sum(s.keys_served for s in members),
+                "fetch_p50_ms": percentile(latencies, 50.0) * 1e3,
+                "fetch_p99_ms": percentile(latencies, 99.0) * 1e3,
+            }
+        return out
+
     def summary(self) -> dict:
         from repro.harness.runner import percentile
 
@@ -368,7 +395,12 @@ class FleetResult:
             "per_profile": self.per_profile(),
             "frontend": self.frontend_metrics,
             "control": list(self.control_log),
-        }
+        } | (
+            # Region block only for federated fleets, so flat-fleet
+            # summaries stay byte-identical.
+            {"per_region": self.per_region()}
+            if any(s.region for s in self.stats) else {}
+        )
 
 
 def _derive_working_set(fleet_seed: bytes, index: int, count: int
@@ -449,6 +481,8 @@ def run_fleet(
     faults=None,
     inspect: Optional[Callable] = None,
     fleet_shards: Optional[int] = None,
+    topology=None,
+    geo_routing: bool = True,
 ) -> FleetResult:
     """Provision and drive a fleet; returns the measured result.
 
@@ -496,12 +530,33 @@ def run_fleet(
     count.  See :mod:`repro.workloads.fleet_shard` for the
     synchronization contract and the configurations that fall back to
     the single-process path.
+
+    ``topology`` runs the fleet against a multi-region
+    :class:`~repro.cluster.federation.FederationGroup` instead of a
+    flat cluster (mutually exclusive with ``replicas``/``threshold`` —
+    the topology carries both): devices are homed round-robin across
+    the regions, their per-replica links carry the access RTT plus the
+    topology's inter-region RTT, and ``geo_routing=True`` gives each
+    device a geo-ranking
+    :class:`~repro.cluster.federation.FederatedKeyClient`
+    (``False`` keeps the flat index-order client, for A/B latency
+    comparisons over identical links).  ``region:<name>`` partition
+    targets in ``faults`` are wired automatically to every link
+    crossing that region's boundary, gossip mesh included.
     """
     from repro.harness.runner import derive_arm_seed
 
     if devices < 1:
         raise ValueError("fleet needs at least one device")
     net = network or LAN
+
+    if topology is not None:
+        if replicas != 1 or threshold != 1:
+            raise ValueError(
+                "pass either topology=... or replicas/threshold, not both")
+        topology.validate()
+        replicas = topology.total_replicas
+        threshold = topology.threshold
 
     requested = fleet_shards
     if requested is None:
@@ -530,9 +585,9 @@ def run_fleet(
         from repro.cluster.client import ReplicatedKeyClient
         from repro.cluster.replica import ReplicaGroup
 
-        group = ReplicaGroup(
-            sim, m=replicas, k=threshold, costs=costs,
-            seed=derive_arm_seed(seed, "cluster"), shards=shards,
+        replica_knobs = dict(
+            costs=costs, seed=derive_arm_seed(seed, "cluster"),
+            shards=shards,
             audit_store=audit_store, segment_entries=segment_entries,
             audit_durable=audit_durable,
             audit_flush_policy=audit_flush_policy,
@@ -542,6 +597,17 @@ def run_fleet(
                 BlobStore("memory", costs) if audit_durable else None
             ),
         )
+        if topology is not None:
+            from repro.cluster.federation import (
+                FederatedKeyClient,
+                FederationGroup,
+            )
+
+            group = FederationGroup(sim, topology, **replica_knobs)
+            group.start_gossip()
+        else:
+            group = ReplicaGroup(sim, m=replicas, k=threshold,
+                                 **replica_knobs)
         if frontend is not None:
             frontends = group.install_frontends(**frontend)
         share_drbg = HmacDrbg(derive_arm_seed(seed, "shares"),
@@ -563,21 +629,45 @@ def run_fleet(
         share_drbg = None
 
     fleet: list[FleetDevice] = []
+    fault_links: dict = {}      # device links by name, for fault plans
+    region_boundary: dict = {}  # region -> cross-region device links
     for index in range(devices):
         profile = profile_for_index(index, scanner_fraction)
         device_id = f"dev-{index:05d}"
         secret = derive_arm_seed(seed, "secret", index)
         pairs = _derive_working_set(seed, index, profile.working_set)
+        home = ""
         if group is not None:
-            links = [
-                net.make_link(sim, label=f"fleet-{index}-r{j}")
-                for j in range(replicas)
-            ]
-            transport = ReplicatedKeyClient(
-                sim, device_id, secret, group, links, costs=costs,
+            client_kwargs = dict(
+                costs=costs,
                 rng=SimRandom(derive_arm_seed(seed, "rng", index),
                               "fleet-client"),
                 share_seed=derive_arm_seed(seed, "client-shares", index),
+            )
+            if topology is not None:
+                home = topology.region_names[
+                    index % len(topology.region_names)]
+                links = group.device_links(net, home, f"fleet-{index}")
+                for j, link in enumerate(links):
+                    fault_links[link.name] = link
+                    far = group.region_labels[j]
+                    if far != home:
+                        # A cross-region device link sits on both
+                        # regions' partition boundaries.
+                        region_boundary.setdefault(home, []).append(link)
+                        region_boundary.setdefault(far, []).append(link)
+                client_cls = (FederatedKeyClient if geo_routing
+                              else ReplicatedKeyClient)
+                if geo_routing:
+                    client_kwargs["home_region"] = home
+            else:
+                links = [
+                    net.make_link(sim, label=f"fleet-{index}-r{j}")
+                    for j in range(replicas)
+                ]
+                client_cls = ReplicatedKeyClient
+            transport = client_cls(
+                sim, device_id, secret, group, links, **client_kwargs,
             )
             for audit_id, key in pairs:
                 shares = split_secret(key, threshold, replicas, share_drbg)
@@ -592,6 +682,7 @@ def run_fleet(
                 service.preload_key(device_id, audit_id, key)
         device = FleetDevice(sim, index, profile, seed, transport,
                              [audit_id for audit_id, _ in pairs])
+        device.stats.region = home
         fleet.append(device)
 
     procs = [
@@ -615,7 +706,18 @@ def run_fleet(
                              "(replicas > 1)")
         from repro.cluster.faults import FaultInjector
 
-        injector = FaultInjector(sim, group=group)
+        if topology is not None:
+            all_links = dict(fault_links)
+            all_links.update(group.gossip_links)
+            injector = FaultInjector(sim, links=all_links, group=group)
+            for name in topology.region_names:
+                injector.register_region(
+                    name,
+                    region_boundary.get(name, [])
+                    + group.gossip_links_crossing(name),
+                )
+        else:
+            injector = FaultInjector(sim, group=group)
         procs.extend(injector.run(faults))
 
     sim.run_until(sim.all_of(procs))

@@ -40,7 +40,8 @@ API_SURFACE = sorted([
     "TraceCollector",
     # cluster
     "ReplicaGroup", "ReplicatedKeyClient", "ReplicatedDeviceServices",
-    "ClusterAuditLog",
+    "ClusterAuditLog", "Region", "Topology", "FederationGroup",
+    "FederatedKeyClient",
     # forensics
     "AuditTool", "AuditReport",
     # audit store (event-sourced log + materialized views)
@@ -163,9 +164,9 @@ class TestConfigBuilder:
         assert base.with_fast_transport() == (
             KeypadConfig.builder().fast_transport().build()
         )
-        assert base.with_replication(2, 3) == (
-            KeypadConfig.builder().replication(k=2, m=3).build()
-        )
+        with pytest.warns(DeprecationWarning, match="federation"):
+            shim = base.with_replication(2, 3)
+        assert shim == KeypadConfig.builder().replication(k=2, m=3).build()
         assert base.with_tracing(op_deadline=5.0) == (
             KeypadConfig.builder().tracing(op_deadline=5.0).build()
         )
